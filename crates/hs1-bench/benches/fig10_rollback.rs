@@ -1,0 +1,39 @@
+//! Figure 10(g,h): rollback attack — throughput and latency vs the number
+//! of faulty leaders (0..f, n = 32), each equivocating to force up to f
+//! correct replicas to speculate on a doomed branch and roll back
+//! (Appendix A.2). Slotted HotStuff-1 confines the attack to the last
+//! slot of the previous view.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_core::Fault;
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::{ReplicaId, SimDuration};
+
+fn main() {
+    let mut sink = FigureSink::new("fig10_rollback", "rollback attack (Fig 10g,h)");
+    let n = 32usize;
+    let f = 10usize;
+    for faulty in [0usize, 1, 4, 7, 10] {
+        for p in [
+            ProtocolKind::HotStuff2,
+            ProtocolKind::HotStuff1,
+            ProtocolKind::HotStuff1Slotted,
+        ] {
+            // Victims: the f correct replicas with the highest ids (never
+            // overlapping the faulty leader set, which starts at id 1).
+            let victims: Vec<ReplicaId> =
+                ((n - f)..n).map(|i| ReplicaId(i as u32)).collect();
+            let report = standard(
+                Scenario::new(p)
+                    .replicas(n)
+                    .batch_size(100)
+                    .clients(400)
+                    .view_timer(SimDuration::from_millis(10))
+                    .faulty_leaders(faulty, Fault::RollbackAttack { victims }),
+            )
+            .run();
+            sink.record(&format!("faulty={faulty} {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

@@ -1,0 +1,33 @@
+//! Figure 10(a–d): leader-slowness — throughput and latency vs the number
+//! of slow leaders (0..f, n = 32, batch 100), with view timers of 10 ms
+//! and 100 ms. Slotted HotStuff-1 is run at both timer settings (the
+//! paper's "10ms-slotting" / "100ms-slotting" series).
+
+use hs1_bench::{standard, FigureSink};
+use hs1_core::Fault;
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig10_slowness", "leader slowness (Fig 10a-d)");
+    for timer_ms in [10u64, 100] {
+        for slow in [0usize, 1, 4, 7, 10] {
+            for p in ProtocolKind::EVALUATED {
+                let report = standard(
+                    Scenario::new(p)
+                        .replicas(32)
+                        .batch_size(100)
+                        .clients(400)
+                        .view_timer(SimDuration::from_millis(timer_ms))
+                        .faulty_leaders(slow, Fault::SlowLeader),
+                )
+                .run();
+                sink.record(
+                    &format!("timer={timer_ms}ms slow={slow} {}", p.name()),
+                    &report,
+                );
+            }
+        }
+    }
+    sink.finish();
+}

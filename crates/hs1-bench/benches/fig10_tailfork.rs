@@ -1,0 +1,29 @@
+//! Figure 10(e,f): tail-forking attack — throughput and latency vs the
+//! number of faulty leaders (0..f, n = 32). A faulty leader of view v
+//! ignores the certificate of view v−1 and extends the certificate of
+//! view v−2 (Example 6.2); slotted HotStuff-1's carry blocks bound the
+//! damage to the attacker's own view.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_core::Fault;
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig10_tailfork", "tail-forking attack (Fig 10e,f)");
+    for faulty in [0usize, 1, 4, 7, 10] {
+        for p in ProtocolKind::EVALUATED {
+            let report = standard(
+                Scenario::new(p)
+                    .replicas(32)
+                    .batch_size(100)
+                    .clients(400)
+                    .view_timer(SimDuration::from_millis(10))
+                    .faulty_leaders(faulty, Fault::TailFork),
+            )
+            .run();
+            sink.record(&format!("faulty={faulty} {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

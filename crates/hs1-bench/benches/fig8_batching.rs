@@ -1,0 +1,19 @@
+//! Figure 8(c,d): throughput and client latency vs batch size
+//! (batch ∈ {100, 1000, 2000, 5000, 10000}, n = 32, YCSB).
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+
+fn main() {
+    let mut sink = FigureSink::new("fig8_batching", "throughput/latency vs batch size (Fig 8c,d)");
+    for batch in [100usize, 1000, 2000, 5000, 10000] {
+        for p in ProtocolKind::EVALUATED {
+            let report = standard(
+                Scenario::new(p).replicas(32).batch_size(batch).clients(batch * 2),
+            )
+            .run();
+            sink.record(&format!("batch={batch} {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

@@ -1,0 +1,28 @@
+//! Figure 8(e–h): geo-scale deployments — throughput and latency vs number
+//! of regions (2–5: N.Virginia, HongKong, London, SãoPaulo, Zurich),
+//! n = 32 spread uniformly, YCSB and TPC-C.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario, WorkloadKind};
+
+fn main() {
+    let mut sink = FigureSink::new("fig8_geo", "geo-scale scalability (Fig 8e-h)");
+    for workload in [WorkloadKind::Ycsb, WorkloadKind::Tpcc] {
+        for regions in 2usize..=5 {
+            for p in ProtocolKind::EVALUATED {
+                let report = standard(
+                    Scenario::new(p)
+                        .replicas(32)
+                        .batch_size(100)
+                        .clients(400)
+                        .workload(workload)
+                        .geo_regions(regions)
+                        .view_timer(hs1_types::SimDuration::from_millis(600)),
+                )
+                .run();
+                sink.record(&format!("{workload:?} regions={regions} {}", p.name()), &report);
+            }
+        }
+    }
+    sink.finish();
+}

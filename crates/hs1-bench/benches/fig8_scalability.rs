@@ -1,0 +1,16 @@
+//! Figure 8(a,b): throughput and client latency vs number of replicas
+//! (n ∈ {4, 16, 32, 64}, YCSB, batch 100).
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+
+fn main() {
+    let mut sink = FigureSink::new("fig8_scalability", "throughput/latency vs replicas (Fig 8a,b)");
+    for n in [4usize, 16, 32, 64] {
+        for p in ProtocolKind::EVALUATED {
+            let report = standard(Scenario::new(p).replicas(n).batch_size(100).clients(200)).run();
+            sink.record(&format!("n={n} {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

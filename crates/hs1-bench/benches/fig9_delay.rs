@@ -1,0 +1,33 @@
+//! Figure 9(a–d, f–i): throughput and latency under injected message
+//! delays δ ∈ {1, 5, 50, 500} ms on k ∈ {0, f, f+1, n−f−1, n−f, n}
+//! impacted replicas (n = 31, f = 10).
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig9_delay", "injected message delays (Fig 9a-d,f-i)");
+    let n = 31;
+    let ks = [0usize, 10, 11, 20, 21, 31];
+    for delay_ms in [1u64, 5, 50, 500] {
+        for &k in &ks {
+            for p in ProtocolKind::EVALUATED {
+                // View timers must exceed the injected delay for liveness
+                // (the paper tunes timeouts per deployment).
+                let timer = SimDuration::from_millis((4 * delay_ms).max(10));
+                let report = standard(
+                    Scenario::new(p)
+                        .replicas(n)
+                        .batch_size(100)
+                        .clients(200)
+                        .view_timer(timer)
+                        .inject_delay(k, SimDuration::from_millis(delay_ms)),
+                )
+                .run();
+                sink.record(&format!("d={delay_ms}ms k={k} {}", p.name()), &report);
+            }
+        }
+    }
+    sink.finish();
+}

@@ -1,0 +1,30 @@
+//! Figure 9(e,j): two-region deployment — n = 31 replicas split between
+//! London (k) and N.Virginia (n−k), clients in N.Virginia,
+//! k ∈ {0, f, f+1, n−f−1, n−f, n}.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::regions::{split, Region};
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig9_geo2", "Virginia/London split (Fig 9e,j)");
+    let n = 31;
+    for k in [0usize, 10, 11, 20, 21, 31] {
+        for p in ProtocolKind::EVALUATED {
+            let placement = split(n, k, Region::London, Region::NorthVirginia);
+            let report = standard(
+                Scenario::new(p)
+                    .replicas(n)
+                    .batch_size(100)
+                    .clients(200)
+                    .placement(placement)
+                    .clients_in(Region::NorthVirginia)
+                    .view_timer(SimDuration::from_millis(400)),
+            )
+            .run();
+            sink.record(&format!("london={k} {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

@@ -1,0 +1,35 @@
+//! §7 "Baselines" half-phase ladder: HotStuff needs 7 half-phases to
+//! consensus, HotStuff-2 needs 5, HotStuff-1 needs 3 (speculative
+//! response). This harness verifies the declared ladder and measures the
+//! corresponding latency ratio on a uniform-latency network.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+
+fn main() {
+    let mut sink = FigureSink::new("halfphase_ladder", "half-phase latency ladder (§7 Baselines)");
+    let mut latencies = Vec::new();
+    for p in [ProtocolKind::HotStuff, ProtocolKind::HotStuff2, ProtocolKind::HotStuff1] {
+        // Light load isolates protocol latency from queueing.
+        let report =
+            standard(Scenario::new(p).replicas(31).batch_size(100).clients(100)).run();
+        println!(
+            "  {:<12} declared half-phases={} measured mean latency={:.2} ms",
+            p.name(),
+            p.half_phases(),
+            report.mean_latency_ms
+        );
+        latencies.push((p, report.mean_latency_ms));
+        sink.record(&format!("halfphases={}", p.half_phases()), &report);
+    }
+    // The ladder must be strictly decreasing: HS > HS2 > HS1.
+    assert!(latencies[0].1 > latencies[1].1, "HotStuff slower than HotStuff-2");
+    assert!(latencies[1].1 > latencies[2].1, "HotStuff-2 slower than HotStuff-1");
+    let reduction_hs = 100.0 * (latencies[0].1 - latencies[2].1) / latencies[0].1;
+    let reduction_hs2 = 100.0 * (latencies[1].1 - latencies[2].1) / latencies[1].1;
+    println!(
+        "  HotStuff-1 latency reduction: {reduction_hs:.1}% vs HotStuff (paper: 41.5%), \
+         {reduction_hs2:.1}% vs HotStuff-2 (paper: 24.2%)"
+    );
+    sink.finish();
+}

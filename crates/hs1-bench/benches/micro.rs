@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the substrates: crypto primitives, wire
+//! codec, speculative store, and workload generators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use hs1_crypto::{hmac_sha256, sha256, KeyPair, PublicKeyRegistry};
+use hs1_ledger::{ExecConfig, ExecutionEngine, KvStore, SpeculativeStore};
+use hs1_types::codec::{Decode, Encode};
+use hs1_types::message::{Message, ProposeMsg};
+use hs1_types::{Block, BlockId, Certificate, ReplicaId, Slot, SplitMix64, Transaction, View};
+use hs1_workloads::{Workload, YcsbGen, Zipfian};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 1024];
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data))));
+    g.bench_function("hmac_1k", |b| b.iter(|| hmac_sha256(b"key", black_box(&data))));
+    let kp = KeyPair::derive(0, 1);
+    let reg = PublicKeyRegistry::derive(0, 4);
+    let sig = kp.sign(1, b"message");
+    g.bench_function("sign", |b| b.iter(|| kp.sign(1, black_box(b"message"))));
+    g.bench_function("verify", |b| b.iter(|| reg.verify(1, 1, black_box(b"message"), &sig)));
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let txs: Vec<Transaction> = (0..100).map(|i| Transaction::kv_write(1, i, i, i)).collect();
+    let block = Arc::new(Block::new(ReplicaId(0), View(1), Slot(1), Certificate::genesis(), txs));
+    let msg = Message::Propose(ProposeMsg { block, commit_cert: None });
+    let bytes = msg.encoded();
+    g.bench_function("encode_propose_100tx", |b| b.iter(|| black_box(&msg).encoded()));
+    g.bench_function("decode_propose_100tx", |b| {
+        b.iter(|| Message::decode_exact(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    g.bench_function("speculate_rollback_100w", |b| {
+        b.iter_batched(
+            || SpeculativeStore::new(KvStore::with_records(600_000)),
+            |mut s| {
+                s.begin_speculation(BlockId::test(1));
+                for k in 0..100 {
+                    s.put_speculative(k, k);
+                }
+                s.rollback_all()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("execute_block_100tx", |b| {
+        let txs: Vec<Transaction> = (0..100).map(|i| Transaction::kv_write(1, i, i, i)).collect();
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            e.execute_committed(BlockId::test(tag), black_box(&txs))
+        })
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    let zipf = Zipfian::ycsb_default(600_000);
+    let mut rng = SplitMix64::new(1);
+    g.bench_function("zipfian_sample", |b| b.iter(|| zipf.sample(black_box(&mut rng))));
+    let mut ycsb = YcsbGen::paper_default(1);
+    let mut seq = 0u64;
+    g.bench_function("ycsb_next_tx", |b| {
+        b.iter(|| {
+            seq += 1;
+            ycsb.next_tx(hs1_types::ClientId(1), seq)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_codec, bench_store, bench_workloads);
+criterion_main!(benches);

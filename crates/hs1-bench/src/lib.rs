@@ -1,0 +1,73 @@
+//! Shared plumbing for the figure-regeneration benches.
+//!
+//! Every bench target prints the paper's series to stdout and appends a
+//! CSV to `bench_results/`. Run lengths scale with the
+//! `HS1_BENCH_SECONDS` environment variable (default 1.0 simulated
+//! seconds of measurement per configuration — the paper uses 120 s runs;
+//! sim time only affects statistical noise, not shape).
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use hs1_sim::{Report, Scenario};
+
+/// Measurement window in simulated seconds (`HS1_BENCH_SECONDS`).
+pub fn sim_seconds() -> f64 {
+    std::env::var("HS1_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Apply the standard measurement window to a scenario.
+pub fn standard(s: Scenario) -> Scenario {
+    s.sim_seconds(sim_seconds()).warmup_seconds(0.4)
+}
+
+/// Collects rows and writes them to `bench_results/<name>.csv`.
+pub struct FigureSink {
+    name: &'static str,
+    rows: Vec<String>,
+}
+
+impl FigureSink {
+    pub fn new(name: &'static str, title: &str) -> FigureSink {
+        println!("=== {name}: {title} ===");
+        FigureSink { name, rows: vec![Report::csv_header().to_string()] }
+    }
+
+    /// Record a run: print the human row, log the CSV row tagged with the
+    /// sweep variable.
+    pub fn record(&mut self, sweep: &str, report: &Report) {
+        println!("  [{sweep:>24}] {}", report.row());
+        assert!(
+            report.invariants_ok(),
+            "{}: invariant violation in [{sweep}]: {:?}",
+            self.name,
+            report.invariant_violations
+        );
+        self.rows.push(format!("{sweep},{}", report.csv_row()));
+    }
+
+    /// Write the CSV (best effort — missing dir is created).
+    pub fn finish(self) {
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.csv", self.name));
+        if let Ok(mut f) = fs::File::create(&path) {
+            for row in &self.rows {
+                let _ = writeln!(f, "{row}");
+            }
+            println!("  -> wrote {}", path.display());
+        }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Workspace root when run via cargo bench; fall back to cwd.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.join("bench_results")
+}

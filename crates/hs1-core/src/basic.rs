@@ -1,0 +1,502 @@
+//! Basic (non-streamlined) HotStuff-1 — paper §4, Fig. 2.
+//!
+//! Each view has two phases run by the *same* leader:
+//!
+//! 1. **Propose / ProposeVote** — the leader broadcasts
+//!    `⟨Propose, B_v, v, P(v_lp), C(v_lc)⟩`; replicas vote back to the
+//!    leader when `w ≥ v_lp`.
+//! 2. **Prepare / NewView** — the leader aggregates `n − f` votes into
+//!    `P(v)` and broadcasts it; replicas speculatively execute `B_v`
+//!    (Prefix-Speculation + No-Gap rules), commit-vote with a threshold
+//!    share `δ_C`, and send a NewView to the *next* leader, which may
+//!    aggregate `C(v)`.
+//!
+//! Commit rules: traditional (a commit certificate `C(v)` arrives,
+//! Def. 4.5) and prefix (a `P(v+1)` extending `P(v)` arrives, Def. 4.6).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::byzantine::Fault;
+use crate::common::{CoreState, TxSource};
+use crate::pacemaker::{Pacemaker, PmOutcome};
+use crate::replica::{Action, Replica, Timer};
+use hs1_crypto::Signature;
+use hs1_ledger::ExecConfig;
+use hs1_types::cert::{domains, CertKind};
+use hs1_types::message::{NewViewMsg, PrepareMsg, ProposeMsg, VoteInfo, VoteMsg};
+use hs1_types::{
+    Block, BlockId, Certificate, Message, ReplicaId, SimTime, Slot, SystemConfig, View,
+};
+
+struct Tally {
+    view: View,
+    /// NewView senders for this view (leader entry condition).
+    nv_senders: HashSet<ReplicaId>,
+    /// Commit shares `δ_C` for `P(v−1)` carried in NewViews, keyed by block.
+    commit_shares: HashMap<BlockId, Vec<(ReplicaId, Signature)>>,
+    /// ProposeVote shares for our proposal.
+    prop_shares: HashMap<BlockId, Vec<(ReplicaId, Signature)>>,
+    proposed: Option<BlockId>,
+    prepared: bool,
+    wait_timer_armed: bool,
+    deadline_passed: bool,
+}
+
+impl Tally {
+    fn new(view: View) -> Tally {
+        Tally {
+            view,
+            nv_senders: HashSet::new(),
+            commit_shares: HashMap::new(),
+            prop_shares: HashMap::new(),
+            proposed: None,
+            prepared: false,
+            wait_timer_armed: false,
+            deadline_passed: false,
+        }
+    }
+}
+
+pub struct BasicEngine {
+    core: CoreState,
+    pm: Pacemaker,
+    fault: Fault,
+
+    view: View,
+    high_cert: Certificate,
+    /// Highest known commit certificate `C(v_lc)`.
+    high_commit: Option<Certificate>,
+    last_voted: View,
+    awaiting_tc: bool,
+    crashed: bool,
+
+    tally: Option<Tally>,
+    nv_buf: HashMap<u64, Vec<(ReplicaId, NewViewMsg)>>,
+    /// Commit target stalled on a missing ancestor (retried after fetch).
+    retry_commit: Option<(BlockId, ReplicaId)>,
+    fetching: HashSet<BlockId>,
+}
+
+impl BasicEngine {
+    pub fn new(cfg: SystemConfig, me: ReplicaId, fault: Fault, exec: ExecConfig) -> BasicEngine {
+        Self::with_source(cfg, me, fault, exec, Box::new(crate::common::LocalMempool::new()))
+    }
+
+    pub fn with_source(
+        cfg: SystemConfig,
+        me: ReplicaId,
+        fault: Fault,
+        exec: ExecConfig,
+        source: Box<dyn TxSource>,
+    ) -> BasicEngine {
+        let core = CoreState::new(cfg.clone(), me, exec, source);
+        let pm = Pacemaker::new(cfg, me, SimTime::ZERO);
+        let crashed = matches!(fault, Fault::Silent);
+        BasicEngine {
+            core,
+            pm,
+            fault,
+            view: View::GENESIS,
+            high_cert: Certificate::genesis(),
+            high_commit: None,
+            last_voted: View::GENESIS,
+            awaiting_tc: false,
+            crashed,
+            tally: None,
+            nv_buf: HashMap::new(),
+            retry_commit: None,
+            fetching: HashSet::new(),
+        }
+    }
+
+    /// Commit `target`, fetching missing ancestors from `source`.
+    fn commit_or_fetch(&mut self, target: BlockId, source: ReplicaId, out: &mut Vec<Action>) {
+        if let Err(missing) = self.core.commit_chain(target, out) {
+            if self.fetching.insert(missing) {
+                out.push(Action::Send { to: source, msg: Message::FetchBlock { id: missing } });
+            }
+            self.retry_commit = Some((target, source));
+        }
+    }
+
+    fn is_leader(&self) -> bool {
+        self.core.cfg.leader_of(self.view) == self.core.me
+    }
+
+    fn check_crash(&mut self) -> bool {
+        if let Fault::Crash { after_view } = self.fault {
+            if self.view.0 > after_view {
+                self.crashed = true;
+            }
+        }
+        self.crashed
+    }
+
+    fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.awaiting_tc = false;
+        out.push(Action::EnteredView { view: self.view });
+        out.push(Action::SetTimer {
+            timer: Timer::ViewTimeout(self.view),
+            at: self.pm.deadline(self.view, now),
+        });
+        if self.view.0 % 64 == 0 {
+            self.pm.prune_below(self.view);
+            self.core.prune(2048);
+            let v = self.view.0;
+            self.nv_buf.retain(|&dv, _| dv >= v);
+        }
+        if self.is_leader() {
+            self.refresh_tally();
+            self.maybe_propose(now, out);
+        }
+    }
+
+    fn exit_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.view = self.view.next();
+        self.tally = None;
+        match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
+            PmOutcome::Enter => self.enter_view(now, out),
+            PmOutcome::AwaitTc => self.awaiting_tc = true,
+        }
+    }
+
+    fn refresh_tally(&mut self) {
+        let v = self.view;
+        if self.tally.as_ref().map(|t| t.view) != Some(v) {
+            self.tally = Some(Tally::new(v));
+        }
+        if let Some(msgs) = self.nv_buf.remove(&v.0) {
+            for (from, msg) in msgs {
+                self.tally_newview(from, &msg);
+            }
+        }
+    }
+
+    fn tally_newview(&mut self, from: ReplicaId, msg: &NewViewMsg) {
+        let quorum = self.core.cfg.quorum();
+        let prev = self.view.prev();
+        let Some(t) = self.tally.as_mut() else { return };
+        if t.view != msg.dest_view || !t.nv_senders.insert(from) {
+            return;
+        }
+        if let Some(vote) = &msg.vote {
+            if Some(vote.view) == prev {
+                let shares = t.commit_shares.entry(vote.block).or_default();
+                if !shares.iter().any(|(r, _)| *r == from) {
+                    shares.push((from, vote.share));
+                }
+                // Fig. 2 lines 11–12: aggregate C(v−1) from n − f commit
+                // shares.
+                if shares.len() >= quorum {
+                    let cert = Certificate {
+                        kind: CertKind::Commit,
+                        view: vote.view,
+                        slot: Slot::FIRST,
+                        block: vote.block,
+                        sigs: shares.clone(),
+                    };
+                    let better = self
+                        .high_commit
+                        .as_ref()
+                        .map(|c| cert.rank() > c.rank())
+                        .unwrap_or(true);
+                    if better {
+                        self.high_commit = Some(cert);
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_propose(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if !self.is_leader() || self.crashed || self.awaiting_tc {
+            return;
+        }
+        self.refresh_tally();
+        let quorum = self.core.cfg.quorum();
+        let n = self.core.cfg.n;
+        let view = self.view;
+        let have_prev = Some(self.high_cert.view) == view.prev();
+        let t = self.tally.as_mut().expect("tally exists");
+        if t.proposed.is_some() || t.nv_senders.len() < quorum {
+            return;
+        }
+        // Fig. 2 line 8: wait for P(v−1), or n NewViews, or ShareTimer(v).
+        let ready = have_prev || t.nv_senders.len() >= n || t.deadline_passed;
+        if !ready {
+            if !t.wait_timer_armed {
+                t.wait_timer_armed = true;
+                out.push(Action::SetTimer {
+                    timer: Timer::LeaderWait(view),
+                    at: self.pm.share_deadline(view, now),
+                });
+            }
+            return;
+        }
+        let justify = self.high_cert.clone();
+        let batch = self.core.make_batch();
+        let b = Arc::new(Block::new(self.core.me, view, Slot::FIRST, justify, batch));
+        self.core.insert_block(b.clone());
+        if let Some(t) = self.tally.as_mut() {
+            t.proposed = Some(b.id());
+        }
+        out.push(Action::Broadcast {
+            msg: Message::Propose(ProposeMsg { block: b, commit_cert: self.high_commit.clone() }),
+        });
+    }
+
+    fn on_propose(&mut self, from: ReplicaId, msg: ProposeMsg, now: SimTime, out: &mut Vec<Action>) {
+        let b = msg.block.clone();
+        let pv = b.view;
+        if pv < self.view || b.slot != Slot::FIRST {
+            return;
+        }
+        if b.proposer != self.core.cfg.leader_of(pv) || from != b.proposer {
+            return;
+        }
+        if !self.core.cert_valid(&b.justify) || !self.core.has_block(b.justify.block) {
+            return;
+        }
+        self.core.insert_block(b.clone());
+        if pv > self.view {
+            self.view = pv;
+            self.tally = None;
+            self.pm.note_jump(pv);
+            self.enter_view(now, out);
+        }
+
+        // Traditional commit rule (Fig. 2 line 17): execute up to B_x for
+        // the piggy-backed commit certificate C(x).
+        if let Some(cc) = &msg.commit_cert {
+            if cc.kind == CertKind::Commit
+                && cc.verify(&self.core.registry, self.core.cfg.quorum())
+            {
+                self.commit_or_fetch(cc.block, b.proposer, out);
+            }
+        }
+
+        // Vote to prepare when w ≥ v_lp (Fig. 2 lines 18–20).
+        if b.justify.rank() >= self.high_cert.rank() && pv > self.last_voted {
+            if b.justify.rank() > self.high_cert.rank() {
+                self.high_cert = b.justify.clone();
+            }
+            self.last_voted = pv;
+            let bytes = Certificate::signing_bytes(CertKind::Quorum, pv, Slot::FIRST, b.id());
+            let share = self.core.kp.sign(domains::PROPOSE_VOTE, &bytes);
+            out.push(Action::Send {
+                to: b.proposer,
+                msg: Message::Vote(VoteMsg {
+                    vote: VoteInfo { view: pv, slot: Slot::FIRST, block: b.id(), share },
+                }),
+            });
+        }
+    }
+
+    fn on_vote(&mut self, from: ReplicaId, msg: VoteMsg, out: &mut Vec<Action>) {
+        let quorum = self.core.cfg.quorum();
+        let Some(t) = self.tally.as_mut() else { return };
+        if msg.vote.view != t.view || Some(msg.vote.block) != t.proposed || t.prepared {
+            return;
+        }
+        let shares = t.prop_shares.entry(msg.vote.block).or_default();
+        if shares.iter().any(|(r, _)| *r == from) {
+            return;
+        }
+        shares.push((from, msg.vote.share));
+        // Fig. 2 lines 13–15: form P(v) and broadcast Prepare.
+        if shares.len() >= quorum {
+            t.prepared = true;
+            let cert = Certificate {
+                kind: CertKind::Quorum,
+                view: t.view,
+                slot: Slot::FIRST,
+                block: msg.vote.block,
+                sigs: shares.clone(),
+            };
+            out.push(Action::Broadcast { msg: Message::Prepare(PrepareMsg { cert }) });
+        }
+    }
+
+    fn on_prepare(&mut self, from: ReplicaId, msg: PrepareMsg, now: SimTime, out: &mut Vec<Action>) {
+        let cert = msg.cert;
+        let pv = cert.view;
+        if pv < self.view || from != self.core.cfg.leader_of(pv) {
+            return;
+        }
+        if cert.kind != CertKind::Quorum || !self.core.cert_valid(&cert) {
+            return;
+        }
+        let Some(b) = self.core.block(cert.block).cloned() else { return };
+        if pv > self.view {
+            self.view = pv;
+            self.tally = None;
+            self.pm.note_jump(pv);
+            self.enter_view(now, out);
+        }
+
+        if cert.rank() > self.high_cert.rank() {
+            self.high_cert = cert.clone();
+        }
+
+        // Prefix commit rule (Fig. 2 lines 22–23, Def. 4.6): P(v) extends
+        // P(v−1) ⇒ commit up to B_{v−1}.
+        if cert.view.is_successor_of(b.justify.view) && !cert.is_genesis() {
+            self.commit_or_fetch(b.parent, from, out);
+        }
+
+        // Speculation (Fig. 2 lines 24–27): Prefix-Speculation rule; the
+        // No-Gap rule holds because the certificate was formed in the
+        // replica's current view.
+        if self.core.is_committed(b.parent) && !b.is_genesis() {
+            self.core.speculate(&b, out);
+        }
+
+        // Commit-vote δ_C to the next leader (Fig. 2 lines 28–30).
+        let bytes = Certificate::signing_bytes(CertKind::Commit, pv, Slot::FIRST, cert.block);
+        let share = self.core.kp.sign(domains::COMMIT_VOTE, &bytes);
+        let next = pv.next();
+        out.push(Action::Send {
+            to: self.core.cfg.leader_of(next),
+            msg: Message::NewView(NewViewMsg {
+                dest_view: next,
+                high_cert: self.high_cert.clone(),
+                vote: Some(VoteInfo { view: pv, slot: Slot::FIRST, block: cert.block, share }),
+            }),
+        });
+        self.exit_view(now, out);
+    }
+
+    fn on_newview(&mut self, from: ReplicaId, msg: NewViewMsg) {
+        if msg.high_cert.rank() > self.high_cert.rank()
+            && self.core.cert_valid(&msg.high_cert)
+            && self.core.has_block(msg.high_cert.block)
+        {
+            self.high_cert = msg.high_cert.clone();
+        }
+        if msg.dest_view < self.view || self.core.cfg.leader_of(msg.dest_view) != self.core.me {
+            return;
+        }
+        if msg.dest_view == self.view && self.tally.is_some() {
+            self.tally_newview(from, &msg);
+        } else {
+            self.nv_buf.entry(msg.dest_view.0).or_default().push((from, msg));
+        }
+    }
+}
+
+impl Replica for BasicEngine {
+    fn id(&self) -> ReplicaId {
+        self.core.me
+    }
+
+    fn on_init(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if self.crashed {
+            return;
+        }
+        self.view = View(1);
+        let leader = self.core.cfg.leader_of(self.view);
+        out.push(Action::Send {
+            to: leader,
+            msg: Message::NewView(NewViewMsg {
+                dest_view: self.view,
+                high_cert: self.high_cert.clone(),
+                vote: None,
+            }),
+        });
+        self.enter_view(now, out);
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: Message, now: SimTime, out: &mut Vec<Action>) {
+        if self.check_crash() {
+            return;
+        }
+        match msg {
+            Message::Propose(m) => self.on_propose(from, m, now, out),
+            Message::Vote(m) => self.on_vote(from, m, out),
+            Message::Prepare(m) => self.on_prepare(from, m, now, out),
+            Message::NewView(m) => {
+                self.on_newview(from, m);
+                self.maybe_propose(now, out);
+            }
+            Message::Wish(m) => {
+                let reg = self.core.registry.clone();
+                self.pm.on_wish(from, &m, &reg, out);
+            }
+            Message::Tc(tc) => {
+                let reg = self.core.registry.clone();
+                if let Some(v) = self.pm.on_tc(&tc, &reg, now, out) {
+                    if self.awaiting_tc && self.view == v {
+                        self.enter_view(now, out);
+                    }
+                }
+            }
+            Message::FetchBlock { id } => {
+                if let Some(b) = self.core.block(id) {
+                    out.push(Action::Send { to: from, msg: Message::FetchResp { block: b.clone() } });
+                }
+            }
+            Message::FetchResp { block } => {
+                if self.core.cert_valid(&block.justify) {
+                    self.fetching.remove(&block.id());
+                    self.core.insert_block(block);
+                    if let Some((target, source)) = self.retry_commit.take() {
+                        self.commit_or_fetch(target, source, out);
+                    }
+                }
+            }
+            Message::Request(tx) => self.core.source.offer(tx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, now: SimTime, out: &mut Vec<Action>) {
+        if self.check_crash() {
+            return;
+        }
+        match timer {
+            Timer::ViewTimeout(v) => {
+                if v != self.view || self.awaiting_tc {
+                    return;
+                }
+                let next = self.view.next();
+                out.push(Action::Send {
+                    to: self.core.cfg.leader_of(next),
+                    msg: Message::NewView(NewViewMsg {
+                        dest_view: next,
+                        high_cert: self.high_cert.clone(),
+                        vote: None,
+                    }),
+                });
+                self.exit_view(now, out);
+            }
+            Timer::LeaderWait(v) => {
+                if v == self.view {
+                    if let Some(t) = self.tally.as_mut() {
+                        t.deadline_passed = true;
+                    }
+                    self.maybe_propose(now, out);
+                }
+            }
+            Timer::ProposeAt(_) => {}
+        }
+    }
+
+    fn enqueue_txs(&mut self, txs: &[hs1_types::Transaction]) {
+        for tx in txs {
+            self.core.source.offer(*tx);
+        }
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn committed_head(&self) -> BlockId {
+        self.core.committed_head()
+    }
+
+    fn committed_chain(&self) -> Vec<BlockId> {
+        self.core.committed.clone()
+    }
+}

@@ -1,0 +1,91 @@
+//! Byzantine fault strategies (§7.3 "Failure Resiliency").
+//!
+//! Faults are leader-side behaviors consulted at propose time; faulty
+//! replicas behave honestly as backups (they aim to slow progress, not to
+//! censor responses — per the paper's attack experiments).
+
+use hs1_types::ReplicaId;
+
+/// The strategy a replica plays.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Fault {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Stops participating entirely after `after_view` views (crash).
+    Crash { after_view: u64 },
+    /// Leader-slowness phenomenon (§6, D6): as leader, delays every
+    /// proposal to the end of the view window, keeping just enough slack
+    /// for the proposal to complete.
+    SlowLeader,
+    /// Tail-forking attack (§6, D7 / Example 6.2): as leader of view `v`,
+    /// ignores the certificate for view `v−1` and extends the certificate
+    /// of view `v−2`, orphaning the previous leader's block.
+    TailFork,
+    /// Rollback attack (§7.3 "Rollback" / Appendix A.2): as leader,
+    /// equivocates — sends a proposal extending the fresh certificate to
+    /// `victims` correct replicas (inducing them to speculate) and a
+    /// conflicting proposal extending an older certificate to everyone
+    /// else. Faulty replicas additionally vote for any proposal signed by
+    /// a faulty leader (collusion), letting the conflicting branch win and
+    /// forcing the victims to roll back.
+    RollbackAttack { victims: Vec<ReplicaId> },
+    /// Never sends anything (fail-silent from the start).
+    Silent,
+}
+
+impl Fault {
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Fault::Honest)
+    }
+
+    /// Is this replica in the colluding faulty set (votes for faulty
+    /// leaders' equivocating proposals)?
+    pub fn colludes(&self) -> bool {
+        matches!(self, Fault::RollbackAttack { .. } | Fault::TailFork)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Honest => "honest",
+            Fault::Crash { .. } => "crash",
+            Fault::SlowLeader => "slow-leader",
+            Fault::TailFork => "tail-fork",
+            Fault::RollbackAttack { .. } => "rollback-attack",
+            Fault::Silent => "silent",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert!(Fault::default().is_honest());
+        assert!(!Fault::SlowLeader.is_honest());
+    }
+
+    #[test]
+    fn collusion_membership() {
+        assert!(Fault::RollbackAttack { victims: vec![] }.colludes());
+        assert!(Fault::TailFork.colludes());
+        assert!(!Fault::Honest.colludes());
+        assert!(!Fault::SlowLeader.colludes());
+    }
+
+    #[test]
+    fn names() {
+        for f in [
+            Fault::Honest,
+            Fault::Crash { after_view: 1 },
+            Fault::SlowLeader,
+            Fault::TailFork,
+            Fault::RollbackAttack { victims: vec![ReplicaId(1)] },
+            Fault::Silent,
+        ] {
+            assert!(!f.name().is_empty());
+        }
+    }
+}

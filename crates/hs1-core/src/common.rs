@@ -1,0 +1,478 @@
+//! State and helpers shared by every consensus engine: block store,
+//! transaction source, the commit path (global-ledger) and the speculation
+//! path (local-ledger).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::replica::Action;
+use hs1_crypto::{KeyPair, PublicKeyRegistry};
+use hs1_ledger::{ExecConfig, ExecutionEngine};
+use hs1_types::{
+    Block, BlockId, Certificate, ReplicaId, ReplyKind, SystemConfig, Transaction, TxId,
+};
+
+/// Where a replica's leader pulls client transactions from.
+///
+/// The simulator backs every replica with one [`SharedMempool`] (clients
+/// disseminate requests to all replicas; dissemination is off the
+/// consensus critical path, §7 Implementation), while the TCP runtime uses
+/// a per-replica [`LocalMempool`] fed by `Message::Request`.
+pub trait TxSource: Send {
+    /// A client request arrived at this replica.
+    fn offer(&mut self, tx: Transaction);
+
+    /// Pull up to `max` not-yet-proposed transactions for a new block.
+    fn take_batch(&mut self, max: usize) -> Vec<Transaction>;
+
+    /// The replica observed `txs` inside a proposed block (suppress
+    /// re-proposal).
+    fn absorb(&mut self, txs: &[Transaction]);
+
+    /// Transactions from an orphaned block re-enter the pool.
+    fn resurrect(&mut self, txs: &[Transaction]);
+}
+
+/// Mempool shared by all simulated replicas of a deployment.
+#[derive(Clone, Default)]
+pub struct SharedMempool {
+    inner: Arc<Mutex<VecDeque<Transaction>>>,
+}
+
+impl SharedMempool {
+    pub fn new() -> SharedMempool {
+        SharedMempool::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("mempool lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TxSource for SharedMempool {
+    fn offer(&mut self, tx: Transaction) {
+        self.inner.lock().expect("mempool lock").push_back(tx);
+    }
+
+    fn take_batch(&mut self, max: usize) -> Vec<Transaction> {
+        let mut q = self.inner.lock().expect("mempool lock");
+        let take = max.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    fn absorb(&mut self, _txs: &[Transaction]) {
+        // Shared queue: the proposing leader already drained them.
+    }
+
+    fn resurrect(&mut self, txs: &[Transaction]) {
+        let mut q = self.inner.lock().expect("mempool lock");
+        for tx in txs {
+            q.push_front(*tx);
+        }
+    }
+}
+
+/// Per-replica mempool for the TCP runtime.
+#[derive(Default)]
+pub struct LocalMempool {
+    queue: VecDeque<Transaction>,
+    absorbed: HashSet<TxId>,
+}
+
+impl LocalMempool {
+    pub fn new() -> LocalMempool {
+        LocalMempool::default()
+    }
+}
+
+impl TxSource for LocalMempool {
+    fn offer(&mut self, tx: Transaction) {
+        if !self.absorbed.contains(&tx.id) {
+            self.queue.push_back(tx);
+        }
+    }
+
+    fn take_batch(&mut self, max: usize) -> Vec<Transaction> {
+        let mut out = Vec::with_capacity(max.min(self.queue.len()));
+        while out.len() < max {
+            match self.queue.pop_front() {
+                Some(tx) if self.absorbed.contains(&tx.id) => continue,
+                Some(tx) => {
+                    self.absorbed.insert(tx.id);
+                    out.push(tx);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn absorb(&mut self, txs: &[Transaction]) {
+        for tx in txs {
+            self.absorbed.insert(tx.id);
+        }
+    }
+
+    fn resurrect(&mut self, txs: &[Transaction]) {
+        for tx in txs {
+            self.absorbed.remove(&tx.id);
+            self.queue.push_front(*tx);
+        }
+    }
+}
+
+/// State common to every engine: identity, crypto, block store, execution,
+/// mempool, committed chain.
+pub struct CoreState {
+    pub cfg: SystemConfig,
+    pub me: ReplicaId,
+    pub kp: KeyPair,
+    pub registry: PublicKeyRegistry,
+    pub blocks: HashMap<BlockId, Arc<Block>>,
+    pub exec: ExecutionEngine,
+    pub source: Box<dyn TxSource>,
+    /// Committed block ids in commit order (genesis first).
+    pub committed: Vec<BlockId>,
+    committed_set: HashSet<BlockId>,
+    /// Bodies below this committed index have been pruned.
+    pruned_upto: usize,
+}
+
+impl CoreState {
+    pub fn new(
+        cfg: SystemConfig,
+        me: ReplicaId,
+        exec_cfg: ExecConfig,
+        source: Box<dyn TxSource>,
+    ) -> CoreState {
+        let kp = KeyPair::derive(cfg.deployment_seed, me.0);
+        let registry = PublicKeyRegistry::derive(cfg.deployment_seed, cfg.n as u32);
+        let genesis = Block::genesis();
+        let gid = genesis.id();
+        let mut blocks = HashMap::new();
+        blocks.insert(gid, genesis);
+        CoreState {
+            cfg,
+            me,
+            kp,
+            registry,
+            blocks,
+            exec: ExecutionEngine::new(exec_cfg),
+            source,
+            committed: vec![gid],
+            committed_set: HashSet::from([gid]),
+            pruned_upto: 0,
+        }
+    }
+
+    pub fn block(&self, id: BlockId) -> Option<&Arc<Block>> {
+        self.blocks.get(&id)
+    }
+
+    pub fn has_block(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Store a block and absorb its transactions into the mempool filter.
+    pub fn insert_block(&mut self, b: Arc<Block>) {
+        if self.blocks.contains_key(&b.id()) {
+            return;
+        }
+        self.source.absorb(&b.txs);
+        self.blocks.insert(b.id(), b);
+    }
+
+    pub fn is_committed(&self, id: BlockId) -> bool {
+        self.committed_set.contains(&id)
+    }
+
+    pub fn committed_head(&self) -> BlockId {
+        *self.committed.last().expect("genesis always committed")
+    }
+
+    /// Verify a certificate against the deployment quorum.
+    pub fn cert_valid(&self, cert: &Certificate) -> bool {
+        cert.verify(&self.registry, self.cfg.quorum())
+    }
+
+    /// Pull a batch for a new proposal.
+    pub fn make_batch(&mut self) -> Vec<Transaction> {
+        self.source.take_batch(self.cfg.batch_size)
+    }
+
+    /// Commit `target` and every uncommitted ancestor, executing them in
+    /// chain order into the global-ledger and emitting `Executed`
+    /// (client responses, unless already sent speculatively) and
+    /// `Committed` actions. Returns `Err(missing)` if an ancestor body is
+    /// absent from the store — the caller must fetch it and retry, or the
+    /// replica's global-ledger stalls permanently.
+    pub fn commit_chain(&mut self, target: BlockId, out: &mut Vec<Action>) -> Result<(), BlockId> {
+        if self.is_committed(target) {
+            return Ok(());
+        }
+        let mut path: Vec<Arc<Block>> = Vec::new();
+        let mut cur = target;
+        while !self.is_committed(cur) {
+            match self.blocks.get(&cur) {
+                Some(b) => {
+                    path.push(b.clone());
+                    cur = b.parent;
+                }
+                None => return Err(cur),
+            }
+        }
+        for b in path.into_iter().rev() {
+            let had_digest = self.exec.digest_of(b.id()).is_some();
+            let digest = self.exec.execute_committed(b.id(), &b.txs);
+            // Respond to clients on commit only if no speculative response
+            // was sent for this block (paper §4.1 commit note). A block
+            // that was speculated *and rolled back* cannot reach here (it
+            // is permanently orphaned), so `had_digest` implies a
+            // speculative response went out.
+            if !had_digest {
+                out.push(Action::Executed { block: b.clone(), digest, kind: ReplyKind::Committed });
+            }
+            out.push(Action::Committed { block: b.clone() });
+            let id = b.id();
+            self.committed.push(id);
+            self.committed_set.insert(id);
+        }
+        Ok(())
+    }
+
+    /// Speculatively execute `b` into the local-ledger (paper Fig. 4
+    /// lines 12–15): roll back any conflicting speculation (its parent is
+    /// committed, so *any* live overlay conflicts), execute, and respond
+    /// to clients. No-op if `b` already executed or committed.
+    pub fn speculate(&mut self, b: &Arc<Block>, out: &mut Vec<Action>) {
+        debug_assert!(self.is_committed(b.parent), "prefix speculation rule violated");
+        if self.is_committed(b.id()) || self.exec.digest_of(b.id()).is_some() {
+            return;
+        }
+        let rolled = self.exec.rollback_conflicting(&[]);
+        if rolled > 0 {
+            out.push(Action::RolledBack { blocks: rolled });
+        }
+        let digest = self.exec.execute_speculative(b.id(), &b.txs);
+        out.push(Action::Executed { block: b.clone(), digest, kind: ReplyKind::Speculative });
+    }
+
+    /// Is `ancestor` on `descendant`'s ancestor chain (inclusive)?
+    /// Walks at most `limit` links.
+    pub fn extends(&self, descendant: BlockId, ancestor: BlockId, limit: usize) -> bool {
+        let mut cur = descendant;
+        for _ in 0..=limit {
+            if cur == ancestor {
+                return true;
+            }
+            match self.blocks.get(&cur) {
+                Some(b) if !b.is_genesis() => cur = b.parent,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Prune block *bodies* far below the committed frontier (bounded
+    /// memory on long runs). The committed id list itself is retained —
+    /// it is 32 bytes per block and the invariant checker and
+    /// `committed_chain()` depend on its completeness.
+    pub fn prune(&mut self, keep: usize) {
+        if self.committed.len() <= keep + self.pruned_upto {
+            return;
+        }
+        let cutoff = self.committed.len() - keep;
+        for id in &self.committed[self.pruned_upto..cutoff] {
+            self.blocks.remove(id);
+        }
+        self.pruned_upto = cutoff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs1_types::{Slot, View};
+
+    fn state() -> CoreState {
+        CoreState::new(
+            SystemConfig::new(4),
+            ReplicaId(0),
+            ExecConfig::default(),
+            Box::new(LocalMempool::new()),
+        )
+    }
+
+    fn child_of(s: &CoreState, parent: BlockId, view: u64, tag: u64) -> Arc<Block> {
+        let justify = Certificate {
+            kind: hs1_types::CertKind::Quorum,
+            view: View(view - 1),
+            slot: if view == 1 { Slot(0) } else { Slot(1) },
+            block: parent,
+            sigs: vec![],
+        };
+        let _ = s;
+        Arc::new(Block::new(
+            ReplicaId(0),
+            View(view),
+            Slot(1),
+            justify,
+            vec![Transaction::kv_write(1, tag, tag, tag)],
+        ))
+    }
+
+    #[test]
+    fn genesis_committed_at_start() {
+        let s = state();
+        assert_eq!(s.committed_head(), Block::genesis_id());
+        assert!(s.is_committed(Block::genesis_id()));
+    }
+
+    #[test]
+    fn commit_chain_commits_ancestors_in_order() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        let b2 = child_of(&s, b1.id(), 2, 2);
+        s.insert_block(b1.clone());
+        s.insert_block(b2.clone());
+        let mut out = Vec::new();
+        assert!(s.commit_chain(b2.id(), &mut out).is_ok());
+        let committed: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Committed { block } => Some(block.id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![b1.id(), b2.id()]);
+        assert_eq!(s.committed_head(), b2.id());
+        // Both blocks produced committed-kind client responses.
+        let responses = out
+            .iter()
+            .filter(|a| matches!(a, Action::Executed { kind: ReplyKind::Committed, .. }))
+            .count();
+        assert_eq!(responses, 2);
+    }
+
+    #[test]
+    fn commit_chain_missing_ancestor_fails() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        let b2 = child_of(&s, b1.id(), 2, 2);
+        s.insert_block(b2.clone()); // b1 never stored
+        let mut out = Vec::new();
+        assert!(s.commit_chain(b2.id(), &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn speculate_then_commit_promotes_without_second_response() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        s.insert_block(b1.clone());
+        let mut out = Vec::new();
+        s.speculate(&b1, &mut out);
+        assert!(matches!(
+            out.as_slice(),
+            [Action::Executed { kind: ReplyKind::Speculative, .. }]
+        ));
+        out.clear();
+        assert!(s.commit_chain(b1.id(), &mut out).is_ok());
+        // Commit emits Committed but no second client response.
+        assert!(out.iter().any(|a| matches!(a, Action::Committed { .. })));
+        assert!(!out.iter().any(|a| matches!(a, Action::Executed { .. })));
+    }
+
+    #[test]
+    fn speculate_conflicting_rolls_back() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        let b1_alt = child_of(&s, Block::genesis_id(), 2, 99);
+        s.insert_block(b1.clone());
+        s.insert_block(b1_alt.clone());
+        let mut out = Vec::new();
+        s.speculate(&b1, &mut out);
+        out.clear();
+        s.speculate(&b1_alt, &mut out);
+        assert!(matches!(out[0], Action::RolledBack { blocks: 1 }));
+        assert!(matches!(
+            out[1],
+            Action::Executed { kind: ReplyKind::Speculative, .. }
+        ));
+    }
+
+    #[test]
+    fn speculate_is_idempotent() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        s.insert_block(b1.clone());
+        let mut out = Vec::new();
+        s.speculate(&b1, &mut out);
+        s.speculate(&b1, &mut out);
+        assert_eq!(
+            out.iter().filter(|a| matches!(a, Action::Executed { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn extends_walks_chain() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        let b2 = child_of(&s, b1.id(), 2, 2);
+        s.insert_block(b1.clone());
+        s.insert_block(b2.clone());
+        assert!(s.extends(b2.id(), b1.id(), 10));
+        assert!(s.extends(b2.id(), Block::genesis_id(), 10));
+        assert!(!s.extends(b1.id(), b2.id(), 10));
+    }
+
+    #[test]
+    fn local_mempool_dedupes_and_resurrects() {
+        let mut m = LocalMempool::new();
+        let t1 = Transaction::kv_write(1, 1, 1, 1);
+        let t2 = Transaction::kv_write(1, 2, 2, 2);
+        m.offer(t1);
+        m.offer(t2);
+        m.absorb(&[t1]); // another leader proposed t1
+        assert_eq!(m.take_batch(10), vec![t2]);
+        m.resurrect(&[t2]);
+        assert_eq!(m.take_batch(10), vec![t2]);
+        // Offer of an absorbed tx is dropped.
+        m.offer(t2);
+        assert!(m.take_batch(10).is_empty());
+    }
+
+    #[test]
+    fn shared_mempool_single_consumer() {
+        let mut a = SharedMempool::new();
+        let mut b = a.clone();
+        a.offer(Transaction::kv_write(1, 1, 1, 1));
+        a.offer(Transaction::kv_write(1, 2, 2, 2));
+        assert_eq!(b.take_batch(1).len(), 1, "clone sees shared queue");
+        assert_eq!(a.take_batch(10).len(), 1, "drained once globally");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_old_bodies() {
+        let mut s = state();
+        let mut parent = Block::genesis_id();
+        for v in 1..=10 {
+            let b = child_of(&s, parent, v, v);
+            parent = b.id();
+            s.insert_block(b.clone());
+            let mut out = Vec::new();
+            assert!(s.commit_chain(b.id(), &mut out).is_ok());
+        }
+        let before = s.blocks.len();
+        s.prune(3);
+        assert!(s.blocks.len() < before);
+        assert!(s.has_block(parent), "recent blocks kept");
+    }
+}

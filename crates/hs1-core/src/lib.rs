@@ -1,0 +1,56 @@
+//! Consensus engines for the HotStuff-1 reproduction.
+//!
+//! Every protocol is a pure state machine implementing [`replica::Replica`]:
+//! inputs are `on_init` / `on_message` / `on_timer` callbacks carrying a
+//! virtual `now`, outputs are [`replica::Action`]s. The same engine code
+//! runs under the deterministic simulator (`hs1-sim`) and the TCP runtime
+//! (`hs1-net`).
+//!
+//! | module | contents | paper reference |
+//! |---|---|---|
+//! | [`chained`] | streamlined engines: HotStuff (3-chain), HotStuff-2 (2-chain), HotStuff-1 (2-chain + speculation) | §5, Fig. 4 |
+//! | [`basic`] | basic (non-streamlined) HotStuff-1 | §4, Fig. 2 |
+//! | [`slotted`] | HotStuff-1 with adaptive slotting | §6, Figs. 6–7 |
+//! | [`pacemaker`] | epoch view synchronizer | §4.2.1, Fig. 3 |
+//! | [`byzantine`] | fault strategies: slow leader, tail-forking, rollback/equivocation, crash, silence | §7.3 |
+//! | [`client`] | client-side quorum matching (early finality confirmation) | §3, §4.1 |
+//! | [`common`] | shared replica state: block store, mempool, commit/speculate paths | — |
+
+pub mod basic;
+pub mod byzantine;
+pub mod chained;
+pub mod client;
+pub mod common;
+pub mod pacemaker;
+pub mod replica;
+pub mod slotted;
+pub mod testkit;
+
+pub use byzantine::Fault;
+pub use replica::{Action, Replica, Timer};
+
+use hs1_types::{ProtocolKind, SystemConfig};
+
+/// Construct the engine for `kind` at replica `id` with fault strategy
+/// `fault`.
+pub fn build_replica(
+    kind: ProtocolKind,
+    cfg: SystemConfig,
+    id: hs1_types::ReplicaId,
+    fault: Fault,
+    exec: hs1_ledger::ExecConfig,
+) -> Box<dyn Replica> {
+    match kind {
+        ProtocolKind::HotStuff => {
+            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Three, false, fault, exec))
+        }
+        ProtocolKind::HotStuff2 => {
+            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Two, false, fault, exec))
+        }
+        ProtocolKind::HotStuff1 => {
+            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Two, true, fault, exec))
+        }
+        ProtocolKind::HotStuff1Basic => Box::new(basic::BasicEngine::new(cfg, id, fault, exec)),
+        ProtocolKind::HotStuff1Slotted => Box::new(slotted::SlottedEngine::new(cfg, id, fault, exec)),
+    }
+}

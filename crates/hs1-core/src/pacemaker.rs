@@ -1,0 +1,336 @@
+//! The pacemaker (paper §4.2.1, Fig. 3).
+//!
+//! Views are grouped into epochs of `f + 1` consecutive views. At each
+//! epoch boundary replicas synchronize: every replica sends a `Wish` share
+//! to the `f + 1` leaders of the next epoch; a leader aggregates `n − f`
+//! shares into a timeout certificate `TC_v` and broadcasts it; receivers
+//! relay the TC to the epoch leaders and set
+//! `StartTime[v + k] = t + k·τ` for `k = 0..f`. The start time of view
+//! `v + k` is also the timeout of view `v + k − 1`, and
+//! `ShareTimer(v) = StartTime[v] + 3Δ`.
+//!
+//! At deployment start all replicas behave as if `TC_0` arrived at time 0
+//! (synchronized start; the first epoch is scheduled from the origin).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::replica::Action;
+use hs1_crypto::{KeyPair, PublicKeyRegistry, Signature};
+use hs1_types::cert::domains;
+use hs1_types::message::WishMsg;
+use hs1_types::{Message, ReplicaId, SimTime, SystemConfig, TimeoutCert, View};
+
+/// Verdict of [`Pacemaker::completed_view`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PmOutcome {
+    /// Enter the view immediately.
+    Enter,
+    /// Epoch boundary: a Wish was sent; hold until the TC arrives
+    /// ([`Pacemaker::on_tc`] will return the view to enter).
+    AwaitTc,
+}
+
+pub struct Pacemaker {
+    cfg: SystemConfig,
+    me: ReplicaId,
+    /// StartTime[v] for views of epochs whose TC has been processed.
+    start_times: HashMap<u64, SimTime>,
+    /// Wish shares collected per epoch-start view (leader role).
+    wishes: HashMap<u64, Vec<(ReplicaId, Signature)>>,
+    /// Epoch-start views whose TC we already formed/broadcast (leader) or
+    /// processed (everyone).
+    tc_done: HashSet<u64>,
+    /// Epoch-start view we are waiting on (sent a Wish, not yet entered).
+    awaiting: Option<View>,
+}
+
+impl Pacemaker {
+    pub fn new(cfg: SystemConfig, me: ReplicaId, now: SimTime) -> Pacemaker {
+        let mut start_times = HashMap::new();
+        // Synchronized start: epoch 0 is scheduled from `now` (time 0).
+        for k in 0..cfg.epoch_len() {
+            start_times.insert(k, now + cfg.view_timer * k);
+        }
+        Pacemaker { cfg, me, start_times, wishes: HashMap::new(), tc_done: HashSet::new(), awaiting: None }
+    }
+
+    /// The timeout deadline of `view`: `StartTime[view] + τ`, or `now + τ`
+    /// when the view's epoch schedule is unknown (catch-up path).
+    pub fn deadline(&self, view: View, now: SimTime) -> SimTime {
+        match self.start_times.get(&view.0) {
+            Some(&start) => start + self.cfg.view_timer,
+            None => now + self.cfg.view_timer,
+        }
+    }
+
+    /// `ShareTimer(view) = StartTime[view] + 3Δ` (Fig. 3 line 2): when a
+    /// leader may stop waiting for NewView messages.
+    pub fn share_deadline(&self, view: View, now: SimTime) -> SimTime {
+        match self.start_times.get(&view.0) {
+            Some(&start) => start + self.cfg.delta * 3,
+            None => now + self.cfg.delta * 3,
+        }
+    }
+
+    /// The engine finished view `next − 1` and wants to enter `next`
+    /// (Fig. 3 CompletedView).
+    pub fn completed_view(&mut self, next: View, kp: &KeyPair, out: &mut Vec<Action>) -> PmOutcome {
+        if !self.cfg.is_epoch_start(next) || self.start_times.contains_key(&next.0) {
+            return PmOutcome::Enter;
+        }
+        // SynchronizeEpoch (Fig. 3 lines 8–10): Wish to the next epoch's
+        // f + 1 leaders.
+        let share = kp.sign(domains::WISH, &TimeoutCert::signing_bytes(next));
+        for leader in self.cfg.epoch_leaders(next) {
+            out.push(Action::Send {
+                to: leader,
+                msg: Message::Wish(WishMsg { view: next, share }),
+            });
+        }
+        self.awaiting = Some(next);
+        PmOutcome::AwaitTc
+    }
+
+    /// Leader role: collect a Wish share; broadcast the TC at quorum
+    /// (Fig. 3 lines 11–13).
+    pub fn on_wish(
+        &mut self,
+        from: ReplicaId,
+        msg: &WishMsg,
+        registry: &PublicKeyRegistry,
+        out: &mut Vec<Action>,
+    ) {
+        let v = msg.view;
+        if !self.cfg.is_epoch_start(v)
+            || !self.cfg.epoch_leaders(v).contains(&self.me)
+            || self.tc_done.contains(&v.0)
+        {
+            return;
+        }
+        if !registry.verify(from.0, domains::WISH, &TimeoutCert::signing_bytes(v), &msg.share) {
+            return;
+        }
+        let shares = self.wishes.entry(v.0).or_default();
+        if shares.iter().any(|(r, _)| *r == from) {
+            return;
+        }
+        shares.push((from, msg.share));
+        if shares.len() >= self.cfg.quorum() {
+            let tc = TimeoutCert { view: v, sigs: shares.clone() };
+            self.tc_done.insert(v.0);
+            out.push(Action::Broadcast { msg: Message::Tc(tc) });
+        }
+    }
+
+    /// Process a timeout certificate (Fig. 3 lines 14–18): relay to the
+    /// epoch leaders, set the epoch's start times, and return the view to
+    /// enter if we were waiting on this TC.
+    pub fn on_tc(
+        &mut self,
+        tc: &TimeoutCert,
+        registry: &PublicKeyRegistry,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> Option<View> {
+        let v = tc.view;
+        if !self.cfg.is_epoch_start(v) || self.start_times.contains_key(&v.0) {
+            // Known epoch: possibly a duplicate; still release a waiter.
+            return self.release_if_awaiting(v);
+        }
+        if !tc.verify(registry, self.cfg.quorum()) {
+            return None;
+        }
+        // Relay to the epoch leaders (non-leaders only, Fig. 3 line 15).
+        if !self.cfg.epoch_leaders(v).contains(&self.me) {
+            for leader in self.cfg.epoch_leaders(v) {
+                out.push(Action::Send { to: leader, msg: Message::Tc(tc.clone()) });
+            }
+        }
+        for k in 0..self.cfg.epoch_len() {
+            self.start_times.insert(v.0 + k, now + self.cfg.view_timer * k);
+        }
+        self.tc_done.insert(v.0);
+        self.release_if_awaiting(v)
+    }
+
+    fn release_if_awaiting(&mut self, v: View) -> Option<View> {
+        if self.awaiting == Some(v) && self.start_times.contains_key(&v.0) {
+            self.awaiting = None;
+            return Some(v);
+        }
+        None
+    }
+
+    /// The engine jumped ahead to `view` via a valid proposal (catch-up);
+    /// drop any stale wait.
+    pub fn note_jump(&mut self, view: View) {
+        if let Some(w) = self.awaiting {
+            if w <= view {
+                self.awaiting = None;
+            }
+        }
+    }
+
+    /// Is the replica parked at an epoch boundary waiting for a TC?
+    pub fn is_awaiting_tc(&self) -> bool {
+        self.awaiting.is_some()
+    }
+
+    /// Drop start-time entries for views far below `view` (bounded memory).
+    pub fn prune_below(&mut self, view: View) {
+        let cut = view.0.saturating_sub(4 * self.cfg.epoch_len());
+        self.start_times.retain(|&v, _| v >= cut);
+        self.wishes.retain(|&v, _| v >= cut);
+        self.tc_done.retain(|&v| v >= cut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs1_types::SimDuration;
+
+    fn setup(n: usize) -> (SystemConfig, Vec<KeyPair>, PublicKeyRegistry) {
+        let cfg = SystemConfig::new(n);
+        let kps = (0..n as u32).map(|i| KeyPair::derive(cfg.deployment_seed, i)).collect();
+        let reg = PublicKeyRegistry::derive(cfg.deployment_seed, n as u32);
+        (cfg, kps, reg)
+    }
+
+    #[test]
+    fn bootstrap_schedule() {
+        let (cfg, _, _) = setup(4); // f = 1, epoch_len = 2, τ = 10ms
+        let pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        assert_eq!(pm.deadline(View(0), SimTime::ZERO), SimTime::ZERO + cfg.view_timer);
+        assert_eq!(
+            pm.deadline(View(1), SimTime::ZERO),
+            SimTime::ZERO + cfg.view_timer * 2
+        );
+        // Views outside epoch 0 fall back to now + τ.
+        let now = SimTime::ZERO + SimDuration::from_millis(55);
+        assert_eq!(pm.deadline(View(9), now), now + cfg.view_timer);
+    }
+
+    #[test]
+    fn intra_epoch_views_enter_immediately() {
+        let (cfg, kps, _) = setup(4);
+        let mut pm = Pacemaker::new(cfg, ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        assert_eq!(pm.completed_view(View(1), &kps[0], &mut out), PmOutcome::Enter);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn epoch_boundary_sends_wishes_to_epoch_leaders() {
+        let (cfg, kps, _) = setup(4); // epoch boundary at view 2
+        let mut pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        assert_eq!(pm.completed_view(View(2), &kps[0], &mut out), PmOutcome::AwaitTc);
+        let dests: Vec<_> = out
+            .iter()
+            .map(|a| match a {
+                Action::Send { to, msg: Message::Wish(w) } => {
+                    assert_eq!(w.view, View(2));
+                    *to
+                }
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(dests, cfg.epoch_leaders(View(2)));
+        assert!(pm.is_awaiting_tc());
+    }
+
+    #[test]
+    fn leader_forms_tc_from_quorum_of_wishes() {
+        let (cfg, kps, reg) = setup(4); // quorum 3; leaders of view 2 epoch: R2, R3
+        let mut pm = Pacemaker::new(cfg.clone(), ReplicaId(2), SimTime::ZERO);
+        let mut out = Vec::new();
+        for i in 0..3u32 {
+            let share = kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2)));
+            pm.on_wish(ReplicaId(i), &WishMsg { view: View(2), share }, &reg, &mut out);
+        }
+        let tcs: Vec<_> = out
+            .iter()
+            .filter(|a| matches!(a, Action::Broadcast { msg: Message::Tc(_) }))
+            .collect();
+        assert_eq!(tcs.len(), 1, "exactly one TC broadcast");
+    }
+
+    #[test]
+    fn duplicate_and_invalid_wishes_ignored() {
+        let (cfg, kps, reg) = setup(4);
+        let mut pm = Pacemaker::new(cfg, ReplicaId(2), SimTime::ZERO);
+        let mut out = Vec::new();
+        let share = kps[0].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2)));
+        pm.on_wish(ReplicaId(0), &WishMsg { view: View(2), share }, &reg, &mut out);
+        pm.on_wish(ReplicaId(0), &WishMsg { view: View(2), share }, &reg, &mut out);
+        // Forged share (wrong signer id).
+        pm.on_wish(ReplicaId(1), &WishMsg { view: View(2), share }, &reg, &mut out);
+        assert!(out.is_empty(), "no TC from 1 distinct valid share");
+    }
+
+    #[test]
+    fn tc_sets_schedule_and_releases_waiter() {
+        let (cfg, kps, reg) = setup(4);
+        let mut pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        pm.completed_view(View(2), &kps[0], &mut out);
+        out.clear();
+
+        let sigs: Vec<_> = (0..3u32)
+            .map(|i| {
+                (ReplicaId(i), kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2))))
+            })
+            .collect();
+        let tc = TimeoutCert { view: View(2), sigs };
+        let t = SimTime::ZERO + SimDuration::from_millis(42);
+        let entered = pm.on_tc(&tc, &reg, t, &mut out);
+        assert_eq!(entered, Some(View(2)));
+        assert!(!pm.is_awaiting_tc());
+        assert_eq!(pm.deadline(View(2), t), t + cfg.view_timer);
+        assert_eq!(pm.deadline(View(3), t), t + cfg.view_timer * 2);
+        // R0 is not an epoch-2 leader (leaders are R2, R3): it relays.
+        let relays = out
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: Message::Tc(_), .. }))
+            .count();
+        assert_eq!(relays, 2);
+        // Duplicate TC: no second release, no second relay.
+        out.clear();
+        assert_eq!(pm.on_tc(&tc, &reg, t, &mut out), None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn invalid_tc_rejected() {
+        let (cfg, kps, reg) = setup(4);
+        let mut pm = Pacemaker::new(cfg, ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        pm.completed_view(View(2), &kps[0], &mut out);
+        out.clear();
+        let bad = TimeoutCert { view: View(2), sigs: vec![] };
+        assert_eq!(pm.on_tc(&bad, &reg, SimTime::ZERO, &mut out), None);
+        assert!(pm.is_awaiting_tc());
+    }
+
+    #[test]
+    fn share_deadline_uses_three_delta() {
+        let (cfg, _, _) = setup(4);
+        let pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        assert_eq!(
+            pm.share_deadline(View(1), SimTime::ZERO),
+            SimTime::ZERO + cfg.view_timer + cfg.delta * 3
+        );
+    }
+
+    #[test]
+    fn jump_clears_wait() {
+        let (cfg, kps, _) = setup(4);
+        let mut pm = Pacemaker::new(cfg, ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        pm.completed_view(View(2), &kps[0], &mut out);
+        assert!(pm.is_awaiting_tc());
+        pm.note_jump(View(3));
+        assert!(!pm.is_awaiting_tc());
+    }
+}

@@ -1,0 +1,73 @@
+//! The transport-agnostic replica interface.
+
+use std::sync::Arc;
+
+use hs1_crypto::Digest;
+use hs1_types::{Block, Message, ReplicaId, ReplyKind, SimTime, View};
+
+/// Outputs of an engine step, interpreted by the harness (simulator or TCP
+/// runtime).
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Send `msg` to one replica.
+    Send { to: ReplicaId, msg: Message },
+    /// Send `msg` to every replica (including the sender, via loopback).
+    Broadcast { msg: Message },
+    /// Arm a one-shot timer. Stale timers are delivered and ignored by the
+    /// engine (each carries its identity).
+    SetTimer { timer: Timer, at: SimTime },
+    /// The replica executed `block` (speculatively or on commit) with
+    /// result digest `digest`; the harness fans per-transaction responses
+    /// out to clients. Emitted at most once per (block, kind) and not at
+    /// all for the commit of a block that already produced a speculative
+    /// response (paper §4.1: a replica responds on commit only if it had
+    /// not sent a speculative response).
+    Executed { block: Arc<Block>, digest: Digest, kind: ReplyKind },
+    /// `block` became committed in chain order (metrics + invariants).
+    Committed { block: Arc<Block> },
+    /// The local-ledger discarded `blocks` speculated blocks (metric).
+    RolledBack { blocks: usize },
+    /// The replica entered `view` (metrics).
+    EnteredView { view: View },
+}
+
+/// One-shot timer identities.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Timer {
+    /// View timer (pacemaker deadline for `view`).
+    ViewTimeout(View),
+    /// Leader's ShareTimer(v) deadline: stop waiting for NewView messages
+    /// and propose with the highest certificate known.
+    LeaderWait(View),
+    /// Deferred proposal (slow-leader strategy / slotted re-proposal).
+    ProposeAt(View),
+}
+
+/// A consensus replica as a pure state machine.
+pub trait Replica: Send {
+    fn id(&self) -> ReplicaId;
+
+    /// Called once at deployment start.
+    fn on_init(&mut self, now: SimTime, out: &mut Vec<Action>);
+
+    /// Deliver a message from `from` (a replica or, for `Request`s, a
+    /// client relay).
+    fn on_message(&mut self, from: ReplicaId, msg: Message, now: SimTime, out: &mut Vec<Action>);
+
+    /// A previously armed timer fired.
+    fn on_timer(&mut self, timer: Timer, now: SimTime, out: &mut Vec<Action>);
+
+    /// Inject transactions into the replica's mempool (the harness models
+    /// client dissemination off the critical path; the TCP runtime feeds
+    /// `Message::Request`s through `on_message` instead).
+    fn enqueue_txs(&mut self, txs: &[hs1_types::Transaction]);
+
+    /// Current view (metrics/inspection).
+    fn current_view(&self) -> View;
+
+    /// Highest committed block id (invariant checking).
+    fn committed_head(&self) -> hs1_types::BlockId;
+
+    /// Chain of committed block ids in commit order (invariant checking).
+    fn committed_chain(&self) -> Vec<hs1_types::BlockId>;
+}

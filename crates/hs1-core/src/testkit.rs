@@ -1,0 +1,197 @@
+//! A miniature deterministic event loop for in-crate protocol tests.
+//!
+//! Delivers every message after a fixed hop latency and fires timers in
+//! order — no bandwidth/CPU modeling (that lives in `hs1-sim`). Useful for
+//! asserting protocol-level behavior: commits, speculation, rollbacks,
+//! view progression, attack outcomes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::replica::{Action, Replica, Timer};
+use hs1_types::{Block, BlockId, Message, ReplicaId, ReplyKind, SimDuration, SimTime, View};
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Msg { from: ReplicaId, to: ReplicaId, msg: Message },
+    Timer { at: ReplicaId, timer: Timer },
+}
+
+/// A recorded observable event.
+#[derive(Clone, Debug)]
+pub enum Obs {
+    Executed { at: ReplicaId, block: Arc<Block>, kind: ReplyKind },
+    Committed { at: ReplicaId, block: Arc<Block> },
+    RolledBack { at: ReplicaId, blocks: usize },
+    EnteredView { at: ReplicaId, view: View },
+}
+
+pub struct TestNet {
+    pub engines: Vec<Box<dyn Replica>>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Ev>,
+    pub now: SimTime,
+    seq: u64,
+    pub hop: SimDuration,
+    pub log: Vec<Obs>,
+    /// Replica ids whose outbound messages are dropped (network-level
+    /// isolation for tests).
+    pub isolated: Vec<ReplicaId>,
+}
+
+impl TestNet {
+    pub fn new(engines: Vec<Box<dyn Replica>>, hop: SimDuration) -> TestNet {
+        TestNet {
+            engines,
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            hop,
+            log: Vec::new(),
+            isolated: Vec::new(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Ev) {
+        let idx = self.events.len();
+        self.events.push(ev);
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn absorb(&mut self, from: ReplicaId, actions: Vec<Action>) {
+        let hop = self.hop;
+        let isolated = self.isolated.contains(&from);
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    if !isolated {
+                        self.push_event(self.now + hop, Ev::Msg { from, to, msg });
+                    }
+                }
+                Action::Broadcast { msg } => {
+                    if !isolated {
+                        for r in 0..self.n() {
+                            self.push_event(
+                                self.now + hop,
+                                Ev::Msg { from, to: ReplicaId(r as u32), msg: msg.clone() },
+                            );
+                        }
+                    }
+                }
+                Action::SetTimer { timer, at } => {
+                    let at = if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
+                    self.push_event(at, Ev::Timer { at: from, timer });
+                }
+                Action::Executed { block, kind, .. } => {
+                    self.log.push(Obs::Executed { at: from, block, kind })
+                }
+                Action::Committed { block } => self.log.push(Obs::Committed { at: from, block }),
+                Action::RolledBack { blocks } => {
+                    self.log.push(Obs::RolledBack { at: from, blocks })
+                }
+                Action::EnteredView { view } => self.log.push(Obs::EnteredView { at: from, view }),
+            }
+        }
+    }
+
+    /// Initialize every engine.
+    pub fn init(&mut self) {
+        for i in 0..self.n() {
+            let mut out = Vec::new();
+            self.engines[i].on_init(self.now, &mut out);
+            let from = ReplicaId(i as u32);
+            self.absorb(from, out);
+        }
+    }
+
+    /// Run until `deadline` or the event queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
+            if at > deadline {
+                // Not yet due; put back and stop.
+                self.heap.push(Reverse((at, u64::MAX, idx)));
+                self.now = deadline;
+                return;
+            }
+            self.now = at;
+            let ev = self.events[idx].clone();
+            let mut out = Vec::new();
+            match ev {
+                Ev::Msg { from, to, msg } => {
+                    let i = to.0 as usize;
+                    self.engines[i].on_message(from, msg, self.now, &mut out);
+                    self.absorb(to, out);
+                }
+                Ev::Timer { at: rid, timer } => {
+                    let i = rid.0 as usize;
+                    self.engines[i].on_timer(timer, self.now, &mut out);
+                    self.absorb(rid, out);
+                }
+            }
+        }
+        self.now = deadline;
+    }
+
+    /// Run for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Inject transactions into every engine's mempool.
+    pub fn inject(&mut self, txs: &[hs1_types::Transaction]) {
+        for e in &mut self.engines {
+            e.enqueue_txs(txs);
+        }
+    }
+
+    /// Blocks committed at replica `r`, in order (excluding genesis).
+    pub fn committed_at(&self, r: usize) -> Vec<BlockId> {
+        self.engines[r]
+            .committed_chain()
+            .into_iter()
+            .filter(|id| *id != Block::genesis_id())
+            .collect()
+    }
+
+    /// Assert the safety invariant: committed chains of all listed
+    /// replicas are prefixes of one another.
+    pub fn assert_prefix_agreement(&self, replicas: &[usize]) {
+        let chains: Vec<Vec<BlockId>> = replicas.iter().map(|&r| self.committed_at(r)).collect();
+        let longest = chains.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+        for (ri, chain) in replicas.iter().zip(&chains) {
+            assert!(
+                longest.starts_with(chain),
+                "replica {ri} committed chain diverges: {chain:?} vs {longest:?}"
+            );
+        }
+    }
+
+    /// Count speculative executions logged at replica `r`.
+    pub fn speculations_at(&self, r: usize) -> usize {
+        self.log
+            .iter()
+            .filter(|o| {
+                matches!(o, Obs::Executed { at, kind: ReplyKind::Speculative, .. } if at.0 as usize == r)
+            })
+            .count()
+    }
+
+    /// Total rollback events at replica `r`.
+    pub fn rollbacks_at(&self, r: usize) -> usize {
+        self.log
+            .iter()
+            .filter_map(|o| match o {
+                Obs::RolledBack { at, blocks } if at.0 as usize == r => Some(*blocks),
+                _ => None,
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic transaction execution over the speculative store.
+//!
+//! The engine owns the replica's [`SpeculativeStore`] and exposes the
+//! three operations the consensus engines need (paper Fig. 2/4/7 backup
+//! roles):
+//!
+//! * [`ExecutionEngine::execute_speculative`] — run a block into a fresh
+//!   local-ledger overlay and return the result digest sent to clients.
+//! * [`ExecutionEngine::execute_committed`] — run (or promote) a block
+//!   into the global-ledger on commit.
+//! * [`ExecutionEngine::rollback_conflicting`] — Definition 4.7: discard
+//!   speculated blocks that conflict with a new branch.
+//!
+//! Execution is sequential and integer-only (paper §4.1 "Note on execution
+//! model"), so any two correct replicas produce bit-identical digests.
+
+use std::collections::HashMap;
+
+use crate::kv::KvStore;
+use crate::spec::SpeculativeStore;
+use crate::tpcc;
+use hs1_crypto::{Digest, Sha256};
+use hs1_types::{BlockId, Transaction, TxOp};
+
+/// Which logical database the deployment serves.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// YCSB logical record count (the paper uses 600k).
+    pub ycsb_records: u64,
+    /// TPC-C warehouse count (4 ≈ the paper's 260k records).
+    pub tpcc_warehouses: u16,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { ycsb_records: 600_000, tpcc_warehouses: 4 }
+    }
+}
+
+/// Per-replica execution engine: speculative store + digest bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ExecutionEngine {
+    store: SpeculativeStore,
+    /// Result digest of every executed block (speculative or committed).
+    digests: HashMap<BlockId, Digest>,
+    /// Count of transactions executed (including re-executions after
+    /// rollback; metric).
+    executed_txs: u64,
+}
+
+impl ExecutionEngine {
+    pub fn new(config: ExecConfig) -> ExecutionEngine {
+        // YCSB records occupy low keys; TPC-C rows live under table tags
+        // (tpcc::pack), so one store serves both workloads.
+        let base = KvStore::with_records(config.ycsb_records);
+        ExecutionEngine {
+            store: SpeculativeStore::new(base),
+            digests: HashMap::new(),
+            executed_txs: 0,
+        }
+    }
+
+    /// Speculatively execute `txs` as block `block` (into a fresh
+    /// local-ledger overlay). Returns the result digest for client
+    /// responses.
+    pub fn execute_speculative(&mut self, block: BlockId, txs: &[Transaction]) -> Digest {
+        self.store.begin_speculation(block);
+        let digest = self.run_block(block, txs, true);
+        self.digests.insert(block, digest);
+        digest
+    }
+
+    /// Execute `txs` as block `block` directly into the global-ledger
+    /// (commit path). If the block is currently the oldest speculated
+    /// overlay its effects are *promoted* instead of re-executed.
+    pub fn execute_committed(&mut self, block: BlockId, txs: &[Transaction]) -> Digest {
+        if self.store.speculated().first() == Some(&block) {
+            self.store.promote_oldest(block);
+            return self.digests[&block];
+        }
+        // Any remaining speculation conflicts with this commit (a
+        // speculated block at the same height on another branch).
+        self.store.rollback_all();
+        let digest = self.run_block(block, txs, false);
+        self.digests.insert(block, digest);
+        digest
+    }
+
+    /// Roll back every speculated block that is not in `keep` (the new
+    /// branch's already-speculated prefix). Returns how many blocks were
+    /// rolled back (Definition 4.7).
+    pub fn rollback_conflicting(&mut self, keep: &[BlockId]) -> usize {
+        let speculated = self.store.speculated();
+        if speculated.iter().all(|b| keep.contains(b)) {
+            return 0;
+        }
+        // Find the deepest speculated prefix entirely within `keep`.
+        let mut retain = 0;
+        for (i, b) in speculated.iter().enumerate() {
+            if keep.contains(b) && retain == i {
+                retain = i + 1;
+            } else {
+                break;
+            }
+        }
+        if retain == 0 {
+            self.store.rollback_all()
+        } else {
+            self.store.rollback_above(speculated[retain - 1])
+        }
+    }
+
+    /// Digest of a previously executed block, if any.
+    pub fn digest_of(&self, block: BlockId) -> Option<Digest> {
+        self.digests.get(&block).copied()
+    }
+
+    pub fn store(&self) -> &SpeculativeStore {
+        &self.store
+    }
+
+    pub fn rollback_count(&self) -> u64 {
+        self.store.rollback_count()
+    }
+
+    pub fn executed_txs(&self) -> u64 {
+        self.executed_txs
+    }
+
+    /// Is `block` speculated but not yet committed?
+    pub fn is_speculating(&self, block: BlockId) -> bool {
+        self.store.is_speculating(block)
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn run_block(&mut self, block: BlockId, txs: &[Transaction], speculative: bool) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"hs1-exec");
+        h.update(&block.0 .0);
+        for tx in txs {
+            let r = self.apply(tx, speculative);
+            h.update_u64(tx.id.client.0 as u64);
+            h.update_u64(tx.id.seq);
+            h.update_u64(r);
+        }
+        self.executed_txs += txs.len() as u64;
+        h.finalize()
+    }
+
+    fn read(&self, key: u64) -> u64 {
+        self.store.get(key).unwrap_or(0)
+    }
+
+    fn write(&mut self, key: u64, value: u64, speculative: bool) {
+        if speculative {
+            self.store.put_speculative(key, value);
+        } else {
+            self.store.put_committed(key, value);
+        }
+    }
+
+    /// Apply one transaction; the returned value feeds the block digest.
+    fn apply(&mut self, tx: &Transaction, speculative: bool) -> u64 {
+        match tx.op {
+            TxOp::KvWrite { key, seed } => {
+                let new = crate::kv::initial_value(seed ^ tx.id.seq);
+                self.write(key, new, speculative);
+                new
+            }
+            TxOp::KvRead { key } => self.read(key),
+            TxOp::TpccNewOrder { warehouse, district, customer, lines, seed } => {
+                // Allocate the next order id for the district.
+                let oid_key = tpcc::district_next_oid(warehouse, district);
+                let oid = self.read(oid_key) as u32;
+                self.write(oid_key, oid as u64 + 1, speculative);
+                let mut total = 0u64;
+                for line in 0..lines {
+                    let item = tpcc::item_for(seed, line);
+                    let stock_key = tpcc::stock_qty(warehouse, item);
+                    let qty = self.read(stock_key);
+                    // Restock when depleted, matching the TPC-C rule
+                    // (s_quantity += 91 when below threshold).
+                    let new_qty = if qty < 10 { qty + 91 } else { qty - 1 };
+                    self.write(stock_key, new_qty, speculative);
+                    let ol_key = tpcc::order_line(warehouse, district, oid, line);
+                    let amount = (item as u64 % 9_999) + 1;
+                    self.write(ol_key, amount, speculative);
+                    total += amount;
+                }
+                // Record the total against the customer's order history
+                // via the digest return value.
+                total ^ ((customer as u64) << 32) ^ oid as u64
+            }
+            TxOp::TpccPayment { warehouse, district, customer, amount_cents } => {
+                let w_key = tpcc::warehouse_ytd(warehouse);
+                self.write(w_key, self.read(w_key) + amount_cents as u64, speculative);
+                let d_key = tpcc::district_ytd(warehouse, district);
+                self.write(d_key, self.read(d_key) + amount_cents as u64, speculative);
+                let bal_key = tpcc::customer_balance(warehouse, district, customer);
+                let bal = self.read(bal_key).wrapping_sub(amount_cents as u64);
+                self.write(bal_key, bal, speculative);
+                let cnt_key = tpcc::customer_payments(warehouse, district, customer);
+                self.write(cnt_key, self.read(cnt_key) + 1, speculative);
+                bal
+            }
+            TxOp::Noop => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs1_types::tx::TxId;
+    use hs1_types::ClientId;
+
+    fn txs(n: u64) -> Vec<Transaction> {
+        (0..n).map(|i| Transaction::kv_write(1, i, i * 7, i)).collect()
+    }
+
+    #[test]
+    fn speculative_and_committed_digests_agree() {
+        let batch = txs(20);
+        let mut a = ExecutionEngine::new(ExecConfig::default());
+        let mut b = ExecutionEngine::new(ExecConfig::default());
+        let da = a.execute_speculative(BlockId::test(1), &batch);
+        let db = b.execute_committed(BlockId::test(1), &batch);
+        assert_eq!(da, db, "speculation must not change results");
+    }
+
+    #[test]
+    fn promote_skips_reexecution() {
+        let batch = txs(5);
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let d1 = e.execute_speculative(BlockId::test(1), &batch);
+        let executed_before = e.executed_txs();
+        let d2 = e.execute_committed(BlockId::test(1), &batch);
+        assert_eq!(d1, d2);
+        assert_eq!(e.executed_txs(), executed_before, "promotion re-executes nothing");
+        assert_eq!(e.store().depth(), 0);
+    }
+
+    #[test]
+    fn conflicting_commit_rolls_back_speculation() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        e.execute_speculative(BlockId::test(1), &txs(3));
+        // A different block commits at this height: speculation discarded.
+        let batch2: Vec<_> = (0..3).map(|i| Transaction::kv_write(2, i, i, i + 9)).collect();
+        e.execute_committed(BlockId::test(2), &batch2);
+        assert_eq!(e.rollback_count(), 1);
+        assert!(!e.is_speculating(BlockId::test(1)));
+    }
+
+    #[test]
+    fn rollback_conflicting_keeps_matching_prefix() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        e.execute_speculative(BlockId::test(1), &txs(1));
+        assert_eq!(e.rollback_conflicting(&[BlockId::test(1)]), 0, "no conflict");
+        assert_eq!(e.rollback_conflicting(&[BlockId::test(9)]), 1, "conflict rolls back");
+        assert_eq!(e.store().depth(), 0);
+    }
+
+    #[test]
+    fn rollback_then_reexecute_same_state() {
+        let batch_a = txs(10);
+        let batch_b: Vec<_> = (0..10).map(|i| Transaction::kv_write(3, i, i * 7, i + 1)).collect();
+
+        // Replica X speculates A, rolls back, then commits B.
+        let mut x = ExecutionEngine::new(ExecConfig::default());
+        x.execute_speculative(BlockId::test(10), &batch_a);
+        x.rollback_conflicting(&[]);
+        let dx = x.execute_committed(BlockId::test(11), &batch_b);
+
+        // Replica Y never saw A.
+        let mut y = ExecutionEngine::new(ExecConfig::default());
+        let dy = y.execute_committed(BlockId::test(11), &batch_b);
+
+        assert_eq!(dx, dy, "rollback erased every speculative effect");
+        for key in 0..100 {
+            assert_eq!(x.store().get(key), y.store().get(key));
+        }
+    }
+
+    #[test]
+    fn tpcc_neworder_allocates_sequential_oids() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let no = |seq| Transaction {
+            id: TxId::new(ClientId(1), seq),
+            op: TxOp::TpccNewOrder { warehouse: 1, district: 2, customer: 7, lines: 5, seed: seq },
+        };
+        e.execute_committed(BlockId::test(1), &[no(0), no(1)]);
+        let oid_key = tpcc::district_next_oid(1, 2);
+        assert_eq!(e.store().get(oid_key), Some(2), "two orders allocated");
+        // Order lines materialized for both orders.
+        assert!(e.store().get(tpcc::order_line(1, 2, 0, 0)).is_some());
+        assert!(e.store().get(tpcc::order_line(1, 2, 1, 0)).is_some());
+    }
+
+    #[test]
+    fn tpcc_payment_moves_money() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let pay = Transaction {
+            id: TxId::new(ClientId(1), 0),
+            op: TxOp::TpccPayment { warehouse: 1, district: 1, customer: 42, amount_cents: 500 },
+        };
+        e.execute_committed(BlockId::test(1), &[pay]);
+        assert_eq!(e.store().get(tpcc::warehouse_ytd(1)), Some(500));
+        assert_eq!(e.store().get(tpcc::district_ytd(1, 1)), Some(500));
+        assert_eq!(e.store().get(tpcc::customer_payments(1, 1, 42)), Some(1));
+        assert_eq!(
+            e.store().get(tpcc::customer_balance(1, 1, 42)),
+            Some(0u64.wrapping_sub(500))
+        );
+    }
+
+    #[test]
+    fn digest_depends_on_block_and_order() {
+        let batch = txs(4);
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let d1 = e.execute_speculative(BlockId::test(1), &batch);
+        e.rollback_conflicting(&[]);
+        let d2 = e.execute_speculative(BlockId::test(2), &batch);
+        assert_ne!(d1, d2, "digest binds the block id");
+
+        let mut rev = batch.clone();
+        rev.reverse();
+        let mut e2 = ExecutionEngine::new(ExecConfig::default());
+        let d3 = e2.execute_committed(BlockId::test(1), &rev);
+        assert_ne!(d1, d3, "digest binds execution order");
+    }
+
+    #[test]
+    fn digest_of_lookup() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        assert_eq!(e.digest_of(BlockId::test(1)), None);
+        let d = e.execute_committed(BlockId::test(1), &txs(2));
+        assert_eq!(e.digest_of(BlockId::test(1)), Some(d));
+    }
+}

@@ -1,0 +1,107 @@
+//! Sparse deterministic key-value store.
+
+use std::collections::HashMap;
+
+pub type Key = u64;
+pub type Value = u64;
+
+/// Derive the "pre-loaded" value of a record that has never been written.
+/// splitmix64-style finalizer: deterministic across replicas.
+pub fn initial_value(key: Key) -> Value {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A key-value store over a logical keyspace of `record_count` pre-loaded
+/// records. Only written keys are materialized.
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: HashMap<Key, Value>,
+    record_count: u64,
+}
+
+impl KvStore {
+    /// A store whose keys `0..record_count` read as pre-loaded records.
+    pub fn with_records(record_count: u64) -> KvStore {
+        KvStore { map: HashMap::new(), record_count }
+    }
+
+    /// Read a key: written value, else the deterministic initial value for
+    /// in-range keys, else `None`.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        if let Some(v) = self.map.get(&key) {
+            return Some(*v);
+        }
+        if key < self.record_count {
+            return Some(initial_value(key));
+        }
+        None
+    }
+
+    pub fn put(&mut self, key: Key, value: Value) {
+        self.map.insert(key, value);
+    }
+
+    /// Number of materialized (actually written) keys.
+    pub fn materialized_len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Bulk-apply a write set (used when promoting a speculative overlay).
+    pub fn apply(&mut self, writes: impl IntoIterator<Item = (Key, Value)>) {
+        for (k, v) in writes {
+            self.map.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_preload_semantics() {
+        let s = KvStore::with_records(600_000);
+        assert_eq!(s.materialized_len(), 0);
+        assert_eq!(s.get(0), Some(initial_value(0)));
+        assert_eq!(s.get(599_999), Some(initial_value(599_999)));
+        assert_eq!(s.get(600_000), None);
+    }
+
+    #[test]
+    fn writes_shadow_initial_values() {
+        let mut s = KvStore::with_records(10);
+        assert_ne!(s.get(3), Some(42));
+        s.put(3, 42);
+        assert_eq!(s.get(3), Some(42));
+        assert_eq!(s.materialized_len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_write_then_read() {
+        let mut s = KvStore::with_records(10);
+        s.put(1_000_000, 7);
+        assert_eq!(s.get(1_000_000), Some(7));
+    }
+
+    #[test]
+    fn initial_values_are_deterministic_and_spread() {
+        assert_eq!(initial_value(5), initial_value(5));
+        let distinct: std::collections::HashSet<u64> = (0..1000).map(initial_value).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn bulk_apply() {
+        let mut s = KvStore::with_records(0);
+        s.apply(vec![(1, 10), (2, 20)]);
+        assert_eq!(s.get(1), Some(10));
+        assert_eq!(s.get(2), Some(20));
+    }
+}

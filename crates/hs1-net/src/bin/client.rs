@@ -1,0 +1,43 @@
+//! `hs1-client` — closed-loop client against a local HotStuff-1 cluster.
+//!
+//! Usage: `hs1-client <n> [protocol] [base_port] [seconds]`
+
+use std::time::Duration;
+
+use hs1_net::client_driver::ClientDriver;
+use hs1_net::DEFAULT_BASE_PORT;
+use hs1_types::{ClientId, ProtocolKind, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 {
+        eprintln!("usage: hs1-client <n> [protocol] [base_port] [seconds]");
+        std::process::exit(2);
+    }
+    let n: usize = args[1].parse().expect("n");
+    let protocol = match args.get(2).map(String::as_str).unwrap_or("hs1") {
+        "hs" => ProtocolKind::HotStuff,
+        "hs2" => ProtocolKind::HotStuff2,
+        "hs1-basic" => ProtocolKind::HotStuff1Basic,
+        "hs1-slotted" => ProtocolKind::HotStuff1Slotted,
+        _ => ProtocolKind::HotStuff1,
+    };
+    let base_port: u16 =
+        args.get(3).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
+    let seconds: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let f = SystemConfig::new(n).f();
+    let mut driver = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
+        .expect("connect to cluster");
+    let samples = driver.run_closed_loop(Duration::from_secs(seconds)).expect("run");
+    if samples.is_empty() {
+        println!("no transactions finalized");
+        return;
+    }
+    let mean_us: u64 = samples.iter().map(|(_, us)| us).sum::<u64>() / samples.len() as u64;
+    println!(
+        "{} transactions finalized, mean latency {:.2} ms",
+        samples.len(),
+        mean_us as f64 / 1000.0
+    );
+}

@@ -1,0 +1,49 @@
+//! `hs1-replica` — run one replica of a HotStuff-1 deployment over TCP.
+//!
+//! Usage: `hs1-replica <id> <n> [protocol] [base_port] [seconds]`
+//! where protocol ∈ {hs, hs2, hs1, hs1-basic, hs1-slotted}.
+
+use std::time::Duration;
+
+use hs1_core::{build_replica, Fault};
+use hs1_ledger::ExecConfig;
+use hs1_net::mesh::Mesh;
+use hs1_net::node::NodeRunner;
+use hs1_net::DEFAULT_BASE_PORT;
+use hs1_types::{ProtocolKind, ReplicaId, SystemConfig};
+
+fn parse_protocol(s: &str) -> ProtocolKind {
+    match s {
+        "hs" => ProtocolKind::HotStuff,
+        "hs2" => ProtocolKind::HotStuff2,
+        "hs1-basic" => ProtocolKind::HotStuff1Basic,
+        "hs1-slotted" => ProtocolKind::HotStuff1Slotted,
+        _ => ProtocolKind::HotStuff1,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: hs1-replica <id> <n> [protocol] [base_port] [seconds]");
+        std::process::exit(2);
+    }
+    let id: u32 = args[1].parse().expect("id");
+    let n: usize = args[2].parse().expect("n");
+    let protocol = parse_protocol(args.get(3).map(String::as_str).unwrap_or("hs1"));
+    let base_port: u16 =
+        args.get(4).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
+    let seconds: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let mut cfg = SystemConfig::new(n);
+    cfg.view_timer = hs1_types::SimDuration::from_millis(200);
+    cfg.delta = hs1_types::SimDuration::from_millis(20);
+    cfg.batch_size = 64;
+    let engine =
+        build_replica(protocol, cfg, ReplicaId(id), Fault::Honest, ExecConfig::default());
+    let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
+    println!("replica {id}/{n} [{}] on port {}", protocol.name(), base_port + id as u16);
+    let mut runner = NodeRunner::new(engine, mesh);
+    runner.run_for(Duration::from_secs(seconds));
+    println!("replica {id} done: {} blocks committed", runner.committed_blocks);
+}

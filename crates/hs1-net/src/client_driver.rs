@@ -1,0 +1,92 @@
+//! A closed-loop TCP client: broadcasts requests to every replica and
+//! applies the paper's finality rules to the streamed responses.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+
+use crate::framing::{self, PeerKind};
+use hs1_core::client::FinalityTracker;
+use hs1_types::{ClientId, Message, ProtocolKind, ReplicaId, Transaction, TxId, TxOp};
+
+/// Latency sample: (tx, microseconds to finality).
+pub type Sample = (TxId, u64);
+
+/// Drives one client id against a local cluster.
+pub struct ClientDriver {
+    id: ClientId,
+    streams: Vec<TcpStream>,
+    responses: Receiver<(ReplicaId, hs1_types::message::ResponseMsg)>,
+    tracker: FinalityTracker,
+}
+
+impl ClientDriver {
+    /// Connect to all `n` replicas at `host:base_port + i`.
+    pub fn connect(
+        id: ClientId,
+        n: usize,
+        host: &str,
+        base_port: u16,
+        protocol: ProtocolKind,
+        f: usize,
+    ) -> std::io::Result<ClientDriver> {
+        let (tx, rx) = unbounded();
+        let mut streams = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut stream = TcpStream::connect((host, base_port + r as u16))?;
+            stream.set_nodelay(true)?;
+            framing::send_hello(&mut stream, PeerKind::Client(id.0))?;
+            let mut read_half = stream.try_clone()?;
+            let tx = tx.clone();
+            let rid = ReplicaId(r as u32);
+            std::thread::Builder::new().name(format!("client-{}-r{r}", id.0)).spawn(
+                move || {
+                    while let Ok(msg) = framing::read_msg(&mut read_half) {
+                        if let Message::Response(resp) = msg {
+                            if tx.send((rid, resp)).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                },
+            )?;
+            streams.push(stream);
+        }
+        Ok(ClientDriver { id, streams, responses: rx, tracker: FinalityTracker::new(n, f, protocol) })
+    }
+
+    fn submit(&mut self, seq: u64) -> std::io::Result<TxId> {
+        let tx = Transaction::new(
+            TxId::new(self.id, seq),
+            TxOp::KvWrite { key: seq * 31 + self.id.0 as u64, seed: seq },
+        );
+        for s in &mut self.streams {
+            framing::write_msg(s, &Message::Request(tx))?;
+        }
+        Ok(tx.id)
+    }
+
+    /// Run a closed loop for `duration`; returns finality latency samples.
+    pub fn run_closed_loop(&mut self, duration: Duration) -> std::io::Result<Vec<Sample>> {
+        let deadline = Instant::now() + duration;
+        let mut samples = Vec::new();
+        let mut seq = 0u64;
+        let mut current = self.submit(seq)?;
+        let mut submitted_at = Instant::now();
+        while Instant::now() < deadline {
+            match self.responses.recv_timeout(Duration::from_millis(20)) {
+                Ok((from, resp)) => {
+                    if self.tracker.on_response(from, &resp).is_some() && resp.tx == current {
+                        samples.push((current, submitted_at.elapsed().as_micros() as u64));
+                        seq += 1;
+                        current = self.submit(seq)?;
+                        submitted_at = Instant::now();
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        Ok(samples)
+    }
+}

@@ -1,0 +1,108 @@
+//! Length-prefixed message framing with an identification handshake.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use hs1_types::codec::{Decode, Encode};
+use hs1_types::Message;
+
+/// Who is on the other end of a connection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PeerKind {
+    Replica(u32),
+    Client(u32),
+}
+
+/// Write the 5-byte handshake: kind tag + id.
+pub fn send_hello(stream: &mut TcpStream, kind: PeerKind) -> std::io::Result<()> {
+    let (tag, id) = match kind {
+        PeerKind::Replica(id) => (0u8, id),
+        PeerKind::Client(id) => (1u8, id),
+    };
+    let mut buf = [0u8; 5];
+    buf[0] = tag;
+    buf[1..5].copy_from_slice(&id.to_be_bytes());
+    stream.write_all(&buf)
+}
+
+/// Read the handshake.
+pub fn recv_hello(stream: &mut TcpStream) -> std::io::Result<PeerKind> {
+    let mut buf = [0u8; 5];
+    stream.read_exact(&mut buf)?;
+    let id = u32::from_be_bytes(buf[1..5].try_into().expect("4 bytes"));
+    match buf[0] {
+        0 => Ok(PeerKind::Replica(id)),
+        1 => Ok(PeerKind::Client(id)),
+        t => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad hello tag {t}"),
+        )),
+    }
+}
+
+/// Write one framed message: u32 length prefix + encoded body.
+pub fn write_msg(stream: &mut TcpStream, msg: &Message) -> std::io::Result<()> {
+    let body = msg.encoded();
+    let len = body.len() as u32;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&body)
+}
+
+/// Maximum accepted frame (hostile-peer defense).
+const MAX_FRAME: u32 = 64 << 20;
+
+/// Read one framed message.
+pub fn read_msg(stream: &mut TcpStream) -> std::io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Message::decode_exact(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs1_types::Transaction;
+    use std::net::TcpListener;
+
+    #[test]
+    fn roundtrip_over_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let hello = recv_hello(&mut s).unwrap();
+            let msg = read_msg(&mut s).unwrap();
+            (hello, msg)
+        });
+        let mut out = TcpStream::connect(addr).unwrap();
+        send_hello(&mut out, PeerKind::Client(7)).unwrap();
+        let msg = Message::Request(Transaction::kv_write(7, 1, 2, 3));
+        write_msg(&mut out, &msg).unwrap();
+        let (hello, got) = handle.join().unwrap();
+        assert_eq!(hello, PeerKind::Client(7));
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_msg(&mut s).map(|_| ())
+        });
+        let mut out = TcpStream::connect(addr).unwrap();
+        out.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        assert!(handle.join().unwrap().is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Real TCP transport: run the same engines multi-process on a LAN or
+//! localhost.
+//!
+//! * [`framing`] — length-prefixed frames over `std::net::TcpStream` with
+//!   a small identification handshake.
+//! * [`mesh`] — the peer mesh: one writer thread per peer, reader threads
+//!   feeding a single inbox channel.
+//! * [`node`] — [`node::NodeRunner`]: hosts a [`hs1_core::Replica`] behind
+//!   the mesh, maps wall-clock time onto the engine's virtual clock, fires
+//!   timers, and fans `Executed` actions out as per-transaction
+//!   [`hs1_types::message::ResponseMsg`]s to connected clients.
+//! * [`client_driver`] — a closed-loop client: broadcasts requests to all
+//!   replicas and applies the paper's finality rules via
+//!   [`hs1_core::client::FinalityTracker`].
+//!
+//! Binaries `hs1-replica` and `hs1-client` (see `src/bin/`) wire these
+//! into runnable processes; `examples/local_cluster_tcp.rs` runs a full
+//! deployment inside one process.
+
+pub mod client_driver;
+pub mod framing;
+pub mod mesh;
+pub mod node;
+
+/// Default base port; replica `i` listens on `base + i`.
+pub const DEFAULT_BASE_PORT: u16 = 42000;

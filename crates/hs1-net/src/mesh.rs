@@ -1,0 +1,158 @@
+//! The peer mesh: maintains connections between replicas and to clients,
+//! with one writer thread per peer and reader threads feeding a shared
+//! inbox.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::framing::{self, PeerKind};
+use hs1_types::{ClientId, Message, ReplicaId};
+
+/// Inbound event delivered to the node loop.
+pub enum Inbound {
+    FromReplica(ReplicaId, Message),
+    FromClient(ClientId, Message),
+}
+
+/// Outbound handle to one peer: a channel drained by its writer thread.
+#[derive(Clone)]
+struct Outbound(Sender<Message>);
+
+/// The mesh of a single replica process.
+pub struct Mesh {
+    me: ReplicaId,
+    n: usize,
+    base_port: u16,
+    host: String,
+    replicas: Arc<Mutex<HashMap<u32, Outbound>>>,
+    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+    pub inbox: Receiver<Inbound>,
+    inbox_tx: Sender<Inbound>,
+}
+
+impl Mesh {
+    /// Bind the listener for `me` and start accepting.
+    pub fn start(me: ReplicaId, n: usize, host: &str, base_port: u16) -> std::io::Result<Mesh> {
+        let (inbox_tx, inbox) = unbounded();
+        let mesh = Mesh {
+            me,
+            n,
+            base_port,
+            host: host.to_string(),
+            replicas: Arc::new(Mutex::new(HashMap::new())),
+            clients: Arc::new(Mutex::new(HashMap::new())),
+            inbox,
+            inbox_tx,
+        };
+        let listener = TcpListener::bind((host, base_port + me.0 as u16))?;
+        let inbox_tx = mesh.inbox_tx.clone();
+        let clients = mesh.clients.clone();
+        thread::Builder::new().name(format!("accept-{}", me.0)).spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let _ = handle_incoming(stream, inbox_tx.clone(), clients.clone());
+            }
+        })?;
+        Ok(mesh)
+    }
+
+    /// Send to a replica, connecting lazily (drops on failure — the
+    /// engines tolerate message loss via timeouts).
+    pub fn send_replica(&self, to: ReplicaId, msg: Message) {
+        if to == self.me {
+            let _ = self.inbox_tx.send(Inbound::FromReplica(self.me, msg));
+            return;
+        }
+        let mut peers = self.replicas.lock();
+        if !peers.contains_key(&to.0) {
+            if let Some(out) = self.connect(to) {
+                peers.insert(to.0, out);
+            } else {
+                return;
+            }
+        }
+        if let Some(out) = peers.get(&to.0) {
+            if out.0.send(msg).is_err() {
+                peers.remove(&to.0);
+            }
+        }
+    }
+
+    pub fn broadcast(&self, msg: Message) {
+        for r in 0..self.n {
+            self.send_replica(ReplicaId(r as u32), msg.clone());
+        }
+    }
+
+    /// Send a response to a connected client (no-op if unknown).
+    pub fn send_client(&self, to: ClientId, msg: Message) {
+        let clients = self.clients.lock();
+        if let Some(out) = clients.get(&to.0) {
+            let _ = out.0.send(msg);
+        }
+    }
+
+    fn connect(&self, to: ReplicaId) -> Option<Outbound> {
+        let addr = (self.host.as_str(), self.base_port + to.0 as u16);
+        let mut stream = TcpStream::connect_timeout(
+            &std::net::ToSocketAddrs::to_socket_addrs(&addr).ok()?.next()?,
+            Duration::from_millis(500),
+        )
+        .ok()?;
+        stream.set_nodelay(true).ok()?;
+        framing::send_hello(&mut stream, PeerKind::Replica(self.me.0)).ok()?;
+        // Reader for the reverse direction of this stream is handled by
+        // the remote's accept loop; here we only write.
+        Some(spawn_writer(stream, &format!("w-{}-{}", self.me.0, to.0)))
+    }
+}
+
+fn spawn_writer(mut stream: TcpStream, name: &str) -> Outbound {
+    let (tx, rx) = unbounded::<Message>();
+    let _ = thread::Builder::new().name(name.to_string()).spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            if framing::write_msg(&mut stream, &msg).is_err() {
+                break;
+            }
+        }
+    });
+    Outbound(tx)
+}
+
+fn handle_incoming(
+    mut stream: TcpStream,
+    inbox: Sender<Inbound>,
+    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let hello = framing::recv_hello(&mut stream)?;
+    match hello {
+        PeerKind::Replica(id) => {
+            thread::Builder::new().name(format!("r-replica-{id}")).spawn(move || {
+                while let Ok(msg) = framing::read_msg(&mut stream) {
+                    if inbox.send(Inbound::FromReplica(ReplicaId(id), msg)).is_err() {
+                        break;
+                    }
+                }
+            })?;
+        }
+        PeerKind::Client(id) => {
+            // Register the write half so responses can reach the client.
+            let write_half = stream.try_clone()?;
+            clients.lock().insert(id, spawn_writer(write_half, &format!("w-client-{id}")));
+            thread::Builder::new().name(format!("r-client-{id}")).spawn(move || {
+                while let Ok(msg) = framing::read_msg(&mut stream) {
+                    if inbox.send(Inbound::FromClient(ClientId(id), msg)).is_err() {
+                        break;
+                    }
+                }
+            })?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Network model: per-pair latency (from region placement), per-replica
+//! injected delays, and deterministic jitter.
+
+use crate::regions::{one_way, Region};
+use hs1_types::{ReplicaId, SimDuration, SplitMix64};
+
+/// Latency and delay-injection model for a deployment.
+#[derive(Clone, Debug)]
+pub struct NetModel {
+    /// One-way base latency between replicas i and j.
+    latency: Vec<Vec<SimDuration>>,
+    /// One-way latency replica ↔ client population.
+    client_latency: Vec<SimDuration>,
+    /// Extra delay injected on messages to *and* from each replica
+    /// (Fig. 9 delay-injection experiments).
+    injected: Vec<SimDuration>,
+    jitter_frac: f64,
+}
+
+impl NetModel {
+    /// Build from a region placement; clients live in `client_region`.
+    pub fn from_regions(placement: &[Region], client_region: Region) -> NetModel {
+        let n = placement.len();
+        let mut latency = vec![vec![SimDuration::ZERO; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                latency[i][j] = one_way(placement[i], placement[j]);
+            }
+        }
+        let client_latency =
+            placement.iter().map(|&r| one_way(r, client_region)).collect();
+        NetModel { latency, client_latency, injected: vec![SimDuration::ZERO; n], jitter_frac: 0.05 }
+    }
+
+    /// Single-region deployment of `n` replicas.
+    pub fn single_region(n: usize) -> NetModel {
+        Self::from_regions(&vec![Region::NorthVirginia; n], Region::NorthVirginia)
+    }
+
+    /// Inject `delay` on replica `r`'s links (both directions).
+    pub fn inject(&mut self, r: ReplicaId, delay: SimDuration) {
+        self.injected[r.0 as usize] = delay;
+    }
+
+    pub fn injected_of(&self, r: ReplicaId) -> SimDuration {
+        self.injected[r.0 as usize]
+    }
+
+    /// One-way delay for a replica→replica message, with deterministic
+    /// jitter drawn from `rng`.
+    pub fn replica_delay(&self, from: ReplicaId, to: ReplicaId, rng: &mut SplitMix64) -> SimDuration {
+        let base = self.latency[from.0 as usize][to.0 as usize];
+        let extra = self.injected[from.0 as usize] + self.injected[to.0 as usize];
+        self.jittered(base, rng) + extra
+    }
+
+    /// One-way delay replica → client (responses) or client → replica
+    /// (requests); injected delay on the replica side applies.
+    pub fn client_delay(&self, replica: ReplicaId, rng: &mut SplitMix64) -> SimDuration {
+        let base = self.client_latency[replica.0 as usize];
+        self.jittered(base, rng) + self.injected[replica.0 as usize]
+    }
+
+    fn jittered(&self, base: SimDuration, rng: &mut SplitMix64) -> SimDuration {
+        if base == SimDuration::ZERO {
+            return base;
+        }
+        let f = 1.0 + self.jitter_frac * (2.0 * rng.next_f64() - 1.0);
+        SimDuration::from_secs_f64(base.as_secs_f64() * f)
+    }
+
+    pub fn n(&self) -> usize {
+        self.latency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::spread;
+
+    #[test]
+    fn injection_applies_both_directions() {
+        let mut m = NetModel::single_region(4);
+        m.inject(ReplicaId(1), SimDuration::from_millis(50));
+        let mut rng = SplitMix64::new(1);
+        let to_injected = m.replica_delay(ReplicaId(0), ReplicaId(1), &mut rng);
+        let from_injected = m.replica_delay(ReplicaId(1), ReplicaId(0), &mut rng);
+        let clean = m.replica_delay(ReplicaId(0), ReplicaId(2), &mut rng);
+        assert!(to_injected > SimDuration::from_millis(49));
+        assert!(from_injected > SimDuration::from_millis(49));
+        assert!(clean < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn geo_placement_separates_regions() {
+        let placement = spread(4, 2); // alternating Virginia / HongKong
+        let m = NetModel::from_regions(&placement, Region::NorthVirginia);
+        let mut rng = SplitMix64::new(2);
+        let same = m.replica_delay(ReplicaId(0), ReplicaId(2), &mut rng);
+        let cross = m.replica_delay(ReplicaId(0), ReplicaId(1), &mut rng);
+        assert!(cross > same * 10);
+        // Clients in Virginia: responses from HK replicas are slow.
+        assert!(m.client_delay(ReplicaId(1), &mut rng) > m.client_delay(ReplicaId(0), &mut rng) * 10);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let m = NetModel::single_region(4);
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            let da = m.replica_delay(ReplicaId(0), ReplicaId(1), &mut a);
+            let db = m.replica_delay(ReplicaId(0), ReplicaId(1), &mut b);
+            assert_eq!(da, db);
+            let base = SimDuration::from_micros(250).as_secs_f64();
+            assert!(da.as_secs_f64() > base * 0.94 && da.as_secs_f64() < base * 1.06);
+        }
+    }
+}

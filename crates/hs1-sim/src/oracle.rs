@@ -1,0 +1,294 @@
+//! The client oracle: turns replica-side execution events into client
+//! finality times without simulating per-transaction response messages.
+//!
+//! For every block, the oracle records when each replica's response (of
+//! either kind) *arrives at the client* — execution completion plus the
+//! replica's response NIC time plus the replica→client link delay — and
+//! applies the paper's quorum rules:
+//!
+//! * HotStuff-1 family: finality at the `(n−f)`-th matching response, or
+//!   at the `(f+1)`-th committed-kind response, whichever is earlier (§3).
+//! * Baselines: finality at the `(f+1)`-th committed response.
+//!
+//! Responses are grouped by block id; deterministic execution makes the
+//! result digest a function of the block, so block-id grouping is exactly
+//! the paper's "matching responses" rule.
+
+use std::collections::HashMap;
+
+use hs1_types::{BlockId, ProtocolKind, ReplicaId, ReplyKind, SimTime, TxId};
+
+/// Log-bucketed latency histogram (1 µs … ~100 s).
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+}
+
+const BUCKETS_PER_DECADE: usize = 20;
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist { buckets: vec![0; 8 * BUCKETS_PER_DECADE], count: 0, sum_ns: 0 }
+    }
+}
+
+impl LatencyHist {
+    fn bucket_of(ns: u64) -> usize {
+        if ns < 1_000 {
+            return 0;
+        }
+        let log = (ns as f64 / 1_000.0).log10();
+        ((log * BUCKETS_PER_DECADE as f64) as usize).min(8 * BUCKETS_PER_DECADE - 1)
+    }
+
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns as f64 / self.count as f64 / 1e6
+    }
+
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket midpoint in ms.
+                let lo = 1_000.0 * 10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64);
+                let hi = 1_000.0 * 10f64.powf((i + 1) as f64 / BUCKETS_PER_DECADE as f64);
+                return (lo + hi) / 2.0 / 1e6;
+            }
+        }
+        0.0
+    }
+}
+
+struct BlockTally {
+    /// Response arrival times at the client, any kind.
+    arrivals: Vec<SimTime>,
+    /// Committed-kind arrivals.
+    committed_arrivals: Vec<SimTime>,
+    responders: Vec<ReplicaId>,
+    finalized_at: Option<SimTime>,
+}
+
+impl BlockTally {
+    fn new() -> BlockTally {
+        BlockTally {
+            arrivals: Vec::new(),
+            committed_arrivals: Vec::new(),
+            responders: Vec::new(),
+            finalized_at: None,
+        }
+    }
+}
+
+/// Aggregate client model.
+pub struct ClientOracle {
+    n: usize,
+    f: usize,
+    protocol: ProtocolKind,
+    tallies: HashMap<BlockId, BlockTally>,
+    /// Blocks that reached finality (persists across [`ClientOracle::gc`]
+    /// so trailing responses can never re-finalize a block).
+    finalized_set: std::collections::HashSet<BlockId>,
+    /// Pending transactions: submit time by id.
+    submit_times: HashMap<TxId, SimTime>,
+    /// Newly finalized (block, finality time) pairs to drain.
+    newly_final: Vec<(BlockId, SimTime)>,
+}
+
+impl ClientOracle {
+    pub fn new(n: usize, f: usize, protocol: ProtocolKind) -> ClientOracle {
+        ClientOracle {
+            n,
+            f,
+            protocol,
+            tallies: HashMap::new(),
+            finalized_set: std::collections::HashSet::new(),
+            submit_times: HashMap::new(),
+            newly_final: Vec::new(),
+        }
+    }
+
+    pub fn note_submit(&mut self, tx: TxId, at: SimTime) {
+        self.submit_times.entry(tx).or_insert(at);
+    }
+
+    pub fn submit_time(&self, tx: TxId) -> Option<SimTime> {
+        self.submit_times.get(&tx).copied()
+    }
+
+    pub fn take_submit(&mut self, tx: TxId) -> Option<SimTime> {
+        self.submit_times.remove(&tx)
+    }
+
+    /// A replica's response for `block` arrives at the client at
+    /// `arrival`. Returns the finality time if this response completes a
+    /// quorum.
+    pub fn on_response(
+        &mut self,
+        from: ReplicaId,
+        block: BlockId,
+        kind: ReplyKind,
+        arrival: SimTime,
+    ) -> Option<SimTime> {
+        if self.finalized_set.contains(&block) {
+            return None;
+        }
+        let nf = self.n - self.f;
+        let f1 = self.f + 1;
+        let needs_nf = self.protocol.client_needs_nf_quorum();
+        let t = self.tallies.entry(block).or_insert_with(BlockTally::new);
+        if t.finalized_at.is_some() || t.responders.contains(&from) {
+            return None;
+        }
+        t.responders.push(from);
+        t.arrivals.push(arrival);
+        if kind == ReplyKind::Committed {
+            t.committed_arrivals.push(arrival);
+        }
+        let spec_ok = needs_nf && t.arrivals.len() >= nf;
+        let commit_ok = t.committed_arrivals.len() >= f1;
+        if spec_ok || commit_ok {
+            // Finality is reached at the arrival completing the quorum —
+            // the max over the quorum's arrival times (arrivals may be
+            // recorded out of order across replicas).
+            let at = if commit_ok && (!spec_ok || !needs_nf) {
+                let mut c = t.committed_arrivals.clone();
+                c.sort_unstable();
+                c[f1 - 1]
+            } else {
+                let mut a = t.arrivals.clone();
+                a.sort_unstable();
+                a[nf - 1]
+            };
+            t.finalized_at = Some(at);
+            self.finalized_set.insert(block);
+            self.newly_final.push((block, at));
+            return Some(at);
+        }
+        None
+    }
+
+    pub fn is_final(&self, block: BlockId) -> bool {
+        self.finalized_set.contains(&block)
+    }
+
+    pub fn finality_of(&self, block: BlockId) -> Option<SimTime> {
+        self.tallies.get(&block).and_then(|t| t.finalized_at)
+    }
+
+    /// Drain blocks finalized since the last call.
+    pub fn drain_finalized(&mut self) -> Vec<(BlockId, SimTime)> {
+        std::mem::take(&mut self.newly_final)
+    }
+
+    /// Drop tallies for finalized blocks (bounded memory on long runs).
+    pub fn gc(&mut self) {
+        self.tallies.retain(|_, t| t.finalized_at.is_none());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn hist_mean_and_quantiles() {
+        let mut h = LatencyHist::default();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            h.record(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 10);
+        assert!((h.mean_ms() - 14.5).abs() < 0.01);
+        let p50 = h.quantile_ms(0.5);
+        assert!(p50 > 3.0 && p50 < 8.0, "p50 {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!(p99 > 80.0 && p99 < 130.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn nf_quorum_for_hotstuff1() {
+        // n=4, f=1: three matching speculative responses finalize.
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff1);
+        let b = BlockId::test(1);
+        assert!(o.on_response(ReplicaId(0), b, ReplyKind::Speculative, t(1)).is_none());
+        assert!(o.on_response(ReplicaId(1), b, ReplyKind::Speculative, t(2)).is_none());
+        let fin = o.on_response(ReplicaId(2), b, ReplyKind::Speculative, t(3));
+        assert_eq!(fin, Some(t(3)));
+        assert!(o.is_final(b));
+    }
+
+    #[test]
+    fn quorum_time_is_kth_smallest() {
+        // Out-of-order arrivals: finality = 3rd smallest arrival.
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff1);
+        let b = BlockId::test(1);
+        o.on_response(ReplicaId(0), b, ReplyKind::Speculative, t(9));
+        o.on_response(ReplicaId(1), b, ReplyKind::Speculative, t(1));
+        let fin = o.on_response(ReplicaId(2), b, ReplyKind::Speculative, t(2));
+        assert_eq!(fin, Some(t(9)));
+    }
+
+    #[test]
+    fn committed_fast_path() {
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff1);
+        let b = BlockId::test(2);
+        o.on_response(ReplicaId(0), b, ReplyKind::Committed, t(1));
+        let fin = o.on_response(ReplicaId(1), b, ReplyKind::Committed, t(4));
+        assert_eq!(fin, Some(t(4)), "f+1 committed responses finalize");
+    }
+
+    #[test]
+    fn baseline_needs_committed() {
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff2);
+        let b = BlockId::test(3);
+        for i in 0..4 {
+            assert!(o.on_response(ReplicaId(i), b, ReplyKind::Speculative, t(i as u64)).is_none());
+        }
+        // Speculative responses never finalize baselines (and they never
+        // occur in practice).
+        assert!(!o.is_final(b));
+    }
+
+    #[test]
+    fn duplicate_responders_ignored() {
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff1);
+        let b = BlockId::test(4);
+        o.on_response(ReplicaId(0), b, ReplyKind::Speculative, t(1));
+        o.on_response(ReplicaId(0), b, ReplyKind::Speculative, t(2));
+        o.on_response(ReplicaId(0), b, ReplyKind::Speculative, t(3));
+        assert!(!o.is_final(b));
+    }
+
+    #[test]
+    fn submit_times_tracked() {
+        let mut o = ClientOracle::new(4, 1, ProtocolKind::HotStuff1);
+        let tx = TxId::new(hs1_types::ClientId(1), 5);
+        o.note_submit(tx, t(7));
+        assert_eq!(o.submit_time(tx), Some(t(7)));
+        assert_eq!(o.take_submit(tx), Some(t(7)));
+        assert_eq!(o.take_submit(tx), None);
+    }
+}

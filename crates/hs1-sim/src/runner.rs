@@ -1,0 +1,417 @@
+//! The discrete-event loop: engines + network model + resource model +
+//! client oracle.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::net::NetModel;
+use crate::oracle::{ClientOracle, LatencyHist};
+use hs1_core::common::{SharedMempool, TxSource};
+use hs1_core::replica::{Action, Replica, Timer};
+use hs1_types::ids::Rank;
+use hs1_types::{
+    Block, BlockId, ClientId, Message, ProtocolKind, ReplicaId, ReplyKind, SimDuration, SimTime,
+    SplitMix64, Transaction,
+};
+use hs1_workloads::Workload;
+
+const RESPONSE_BYTES_PER_TX: usize = 96;
+
+#[derive(Clone)]
+enum Ev {
+    /// Message bytes arrived at `to`; it now queues for CPU.
+    Deliver { from: ReplicaId, to: ReplicaId, msg: Message },
+    /// CPU processing finished; invoke the engine.
+    Handle { from: ReplicaId, to: ReplicaId, msg: Message },
+    Timer { at: ReplicaId, timer: Timer },
+    /// A client request lands in the shared mempool.
+    Submit { tx: Transaction },
+}
+
+/// Aggregated counters produced by a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    pub finalized_txs: u64,
+    pub committed_blocks: u64,
+    pub rollbacks: u64,
+    pub views_entered: u64,
+    pub orphaned_blocks: u64,
+    /// Replica responses observed by the client oracle (spec, committed).
+    pub responses: (u64, u64),
+    pub mean_latency_ms: f64,
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    pub invariant_violations: Vec<String>,
+}
+
+pub struct SimRunner {
+    engines: Vec<Box<dyn Replica>>,
+    net: NetModel,
+    cost: CostModel,
+    quorum: usize,
+
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Ev>,
+    seq: u64,
+    now: SimTime,
+    cpu_free: Vec<SimTime>,
+    nic_free: Vec<SimTime>,
+    rng: SplitMix64,
+
+    mempool: SharedMempool,
+    oracle: ClientOracle,
+    workload: Box<dyn Workload>,
+    client_seq: HashMap<ClientId, u64>,
+    request_delay: SimDuration,
+
+    /// All proposed blocks in flight (for orphan resurrection).
+    proposed: HashMap<BlockId, Arc<Block>>,
+    committed_first: HashSet<BlockId>,
+    /// Finality times of blocks finalized late (for invariant leniency).
+    late_final: Vec<(BlockId, SimTime)>,
+    /// Rank of every finalized block (invariant checking).
+    finalized_ranks: HashMap<BlockId, Rank>,
+    /// Highest committed rank seen anywhere.
+    max_committed_rank: Rank,
+
+    warmup_end: SimTime,
+    window_end: SimTime,
+    hist: LatencyHist,
+    stats: RunStats,
+}
+
+impl SimRunner {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        engines: Vec<Box<dyn Replica>>,
+        mempool: SharedMempool,
+        net: NetModel,
+        cost: CostModel,
+        protocol: ProtocolKind,
+        f: usize,
+        workload: Box<dyn Workload>,
+        seed: u64,
+    ) -> SimRunner {
+        let n = engines.len();
+        let mut rng = SplitMix64::new(seed ^ 0x51e5);
+        let request_delay = (0..n)
+            .map(|r| net.client_delay(ReplicaId(r as u32), &mut rng))
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        SimRunner {
+            quorum: n - f,
+            oracle: ClientOracle::new(n, f, protocol),
+            engines,
+            net,
+            cost,
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            cpu_free: vec![SimTime::ZERO; n],
+            nic_free: vec![SimTime::ZERO; n],
+            rng,
+            mempool,
+            workload,
+            client_seq: HashMap::new(),
+            request_delay,
+            proposed: HashMap::new(),
+            committed_first: HashSet::new(),
+            late_final: Vec::new(),
+            finalized_ranks: HashMap::new(),
+            max_committed_rank: Rank::GENESIS,
+            warmup_end: SimTime::ZERO,
+            window_end: SimTime::MAX,
+            hist: LatencyHist::default(),
+            stats: RunStats::default(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        let idx = self.events.len();
+        self.events.push(ev);
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Spawn `clients` closed-loop clients, staggered over the first
+    /// millisecond.
+    pub fn spawn_clients(&mut self, clients: usize) {
+        for c in 0..clients {
+            let client = ClientId(c as u32);
+            let submit = SimTime::ZERO + SimDuration::from_nanos((c as u64) * 1_000);
+            self.issue_tx(client, submit);
+        }
+    }
+
+    fn issue_tx(&mut self, client: ClientId, submit: SimTime) {
+        let seq = self.client_seq.entry(client).or_insert(0);
+        let tx = self.workload.next_tx(client, *seq);
+        *seq += 1;
+        self.oracle.note_submit(tx.id, submit);
+        self.push(submit + self.request_delay, Ev::Submit { tx });
+    }
+
+    /// Run the measured experiment: `warmup` then `window` of measurement,
+    /// then a short drain for invariant checking. Returns the stats.
+    pub fn run(&mut self, warmup: SimDuration, window: SimDuration) -> RunStats {
+        self.warmup_end = SimTime::ZERO + warmup;
+        self.window_end = self.warmup_end + window;
+        // Initialize engines.
+        for i in 0..self.n() {
+            let mut out = Vec::new();
+            self.engines[i].on_init(self.now, &mut out);
+            self.absorb(ReplicaId(i as u32), out);
+        }
+        let drain_until = self.window_end + SimDuration::from_millis(250);
+        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
+            if at > drain_until {
+                break;
+            }
+            self.now = at;
+            let ev = self.events[idx].clone();
+            self.step(ev);
+            if self.events.len() > 1 << 20 && self.heap.is_empty() {
+                break;
+            }
+        }
+        self.finish();
+        self.stats.clone()
+    }
+
+    fn step(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver { from, to, msg } => {
+                let i = to.0 as usize;
+                let start = self.now.max(self.cpu_free[i]);
+                let cost = self.cost.recv_cost(&msg, self.quorum);
+                let done = start + cost;
+                self.cpu_free[i] = done;
+                self.push(done, Ev::Handle { from, to, msg });
+            }
+            Ev::Handle { from, to, msg } => {
+                let i = to.0 as usize;
+                let mut out = Vec::new();
+                self.engines[i].on_message(from, msg, self.now, &mut out);
+                self.absorb(to, out);
+            }
+            Ev::Timer { at, timer } => {
+                let i = at.0 as usize;
+                let mut out = Vec::new();
+                self.engines[i].on_timer(timer, self.now, &mut out);
+                self.absorb(at, out);
+            }
+            Ev::Submit { tx } => {
+                self.mempool.offer(tx);
+            }
+        }
+    }
+
+    fn send_one(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        // Register proposals for orphan tracking.
+        if let Message::Propose(p) = &msg {
+            self.proposed.entry(p.block.id()).or_insert_with(|| p.block.clone());
+        }
+        let i = from.0 as usize;
+        if from == to {
+            // Loopback skips the NIC.
+            self.push(self.now + SimDuration::from_micros(1), Ev::Deliver { from, to, msg });
+            return;
+        }
+        let size = msg.modeled_wire_size();
+        let start = self.now.max(self.nic_free[i]);
+        let done = start + self.cost.tx_time(size);
+        self.nic_free[i] = done;
+        let arrival = done + self.net.replica_delay(from, to, &mut self.rng);
+        self.push(arrival, Ev::Deliver { from, to, msg });
+    }
+
+    fn absorb(&mut self, from: ReplicaId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.send_one(from, to, msg),
+                Action::Broadcast { msg } => {
+                    for r in 0..self.n() {
+                        self.send_one(from, ReplicaId(r as u32), msg.clone());
+                    }
+                }
+                Action::SetTimer { timer, at } => {
+                    let at = if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
+                    self.push(at, Ev::Timer { at: from, timer });
+                }
+                Action::Executed { block, kind, .. } => self.on_executed(from, block, kind),
+                Action::Committed { block } => self.on_committed(block),
+                Action::RolledBack { blocks } => self.stats.rollbacks += blocks as u64,
+                Action::EnteredView { .. } => {
+                    if from == ReplicaId(0) {
+                        self.stats.views_entered += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_executed(&mut self, from: ReplicaId, block: Arc<Block>, kind: ReplyKind) {
+        if !self.committed_first.contains(&block.id()) {
+            self.proposed.entry(block.id()).or_insert_with(|| block.clone());
+        }
+        // Responses serialize through the replica's NIC.
+        let i = from.0 as usize;
+        let bytes = block.txs.len() * RESPONSE_BYTES_PER_TX;
+        let start = self.now.max(self.nic_free[i]);
+        let done = start + self.cost.tx_time(bytes);
+        self.nic_free[i] = done;
+        let arrival = done + self.net.client_delay(from, &mut self.rng);
+        match kind {
+            ReplyKind::Speculative => self.stats.responses.0 += 1,
+            ReplyKind::Committed => self.stats.responses.1 += 1,
+        }
+        if let Some(fin) = self.oracle.on_response(from, block.id(), kind, arrival) {
+            self.on_finality(block, fin);
+        }
+    }
+
+    fn on_finality(&mut self, block: Arc<Block>, fin: SimTime) {
+        if fin > self.window_end {
+            self.late_final.push((block.id(), fin));
+        }
+        self.finalized_ranks.insert(block.id(), Rank::new(block.view, block.slot));
+        for tx in &block.txs {
+            let submit = self.oracle.take_submit(tx.id);
+            if fin >= self.warmup_end && fin <= self.window_end {
+                self.stats.finalized_txs += 1;
+                if let Some(s) = submit {
+                    self.hist.record(fin.since(s).0);
+                }
+            }
+            // Closed loop: the client issues its next transaction.
+            let client = tx.id.client;
+            self.issue_tx(client, fin);
+        }
+        if self.stats.finalized_txs % 4096 == 0 {
+            self.oracle.gc();
+        }
+    }
+
+    fn on_committed(&mut self, block: Arc<Block>) {
+        let id = block.id();
+        let first = self.committed_first.insert(id);
+        self.proposed.remove(&id);
+        if !first {
+            return;
+        }
+        self.stats.committed_blocks += 1;
+        // Orphan scan: any still-pending block ranked strictly below the
+        // committed view can never commit (chains commit in rank order);
+        // resurrect its unfinalized transactions.
+        let rank = Rank::new(block.view, block.slot);
+        if rank > self.max_committed_rank {
+            self.max_committed_rank = rank;
+        }
+        let orphans: Vec<BlockId> = self
+            .proposed
+            .iter()
+            .filter(|(_, b)| b.view < rank.view && Rank::new(b.view, b.slot) <= rank)
+            .map(|(id, _)| *id)
+            .collect();
+        for oid in orphans {
+            if let Some(ob) = self.proposed.remove(&oid) {
+                self.stats.orphaned_blocks += 1;
+                let pending: Vec<Transaction> = ob
+                    .txs
+                    .iter()
+                    .filter(|t| self.oracle.submit_time(t.id).is_some())
+                    .copied()
+                    .collect();
+                self.mempool.resurrect(&pending);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.stats.mean_latency_ms = self.hist.mean_ms();
+        self.stats.p50_latency_ms = self.hist.quantile_ms(0.5);
+        self.stats.p99_latency_ms = self.hist.quantile_ms(0.99);
+        self.check_invariants();
+    }
+
+    /// Post-run safety checks: committed-prefix agreement across correct
+    /// replicas, and every finalized block on the canonical chain.
+    fn check_invariants(&mut self) {
+        let chains: Vec<Vec<BlockId>> =
+            self.engines.iter().map(|e| e.committed_chain()).collect();
+        // "Correct" replicas are those the scenario left honest; the
+        // runner does not know fault assignments, so it checks agreement
+        // over the longest mutually consistent set: any two chains must be
+        // prefix-comparable unless one belongs to a Byzantine replica.
+        // Scenario-level code passes the honest set through
+        // `check_prefix_agreement`; here we run the weaker all-pairs check
+        // against the longest chain and report divergence.
+        let longest = chains.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+        for (i, c) in chains.iter().enumerate() {
+            if !longest.starts_with(c) && !c.starts_with(&longest) {
+                self.stats
+                    .invariant_violations
+                    .push(format!("replica {i} committed chain diverges from longest"));
+            }
+        }
+        let committed: HashSet<BlockId> = chains.iter().flatten().copied().collect();
+        for (block, _fin) in self.oracle.drain_finalized() {
+            if committed.contains(&block) {
+                continue;
+            }
+            // An uncommitted finalized block is a *violation* only once
+            // the committed frontier has moved decisively past it (it can
+            // then never commit — it was orphaned after finality). Blocks
+            // within two views of the frontier are merely commit-pending
+            // at the end of the run (Corollary B.10 guarantees they
+            // commit).
+            let rank = self.finalized_ranks.get(&block).copied().unwrap_or(Rank::GENESIS);
+            if self.max_committed_rank.view.0 > rank.view.0 + 2 {
+                self.stats.invariant_violations.push(format!(
+                    "finalized block {block:?} at {rank:?} orphaned (frontier {:?})",
+                    self.max_committed_rank
+                ));
+            }
+        }
+    }
+
+    /// Prefix-agreement check restricted to `honest` replica indices
+    /// (used by scenarios that know the fault placement).
+    pub fn check_prefix_agreement(&mut self, honest: &[usize]) {
+        let chains: Vec<(usize, Vec<BlockId>)> = honest
+            .iter()
+            .map(|&i| (i, self.engines[i].committed_chain()))
+            .collect();
+        let longest =
+            chains.iter().map(|(_, c)| c.clone()).max_by_key(|c| c.len()).unwrap_or_default();
+        for (i, c) in &chains {
+            if !longest.starts_with(c) {
+                self.stats
+                    .invariant_violations
+                    .push(format!("honest replica {i} diverges from canonical chain"));
+            }
+        }
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+impl SimRunner {
+    /// Per-replica committed-chain lengths (debug/inspection).
+    pub fn committed_lengths(&self) -> Vec<usize> {
+        self.engines.iter().map(|e| e.committed_chain().len()).collect()
+    }
+    /// Per-replica current views (debug/inspection).
+    pub fn current_views(&self) -> Vec<u64> {
+        self.engines.iter().map(|e| e.current_view().0).collect()
+    }
+}

@@ -1,0 +1,359 @@
+//! Scenario builder + report: the public face of the simulator.
+//!
+//! ```
+//! use hs1_sim::{Scenario, ProtocolKind};
+//!
+//! let report = Scenario::new(ProtocolKind::HotStuff1)
+//!     .replicas(4)
+//!     .batch_size(16)
+//!     .clients(64)
+//!     .sim_seconds(0.5)
+//!     .run();
+//! assert!(report.committed_txs > 0);
+//! assert!(report.invariants_ok());
+//! ```
+
+use crate::cost::CostModel;
+use crate::net::NetModel;
+use crate::regions::{spread, Region};
+use crate::runner::SimRunner;
+use hs1_core::byzantine::Fault;
+use hs1_core::common::SharedMempool;
+use hs1_core::Replica;
+use hs1_ledger::ExecConfig;
+use hs1_types::{ProtocolKind, ReplicaId, SimDuration, SystemConfig};
+use hs1_workloads::{TpccGen, Workload, YcsbGen};
+
+/// Which workload drives the clients (§7 "Workloads").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// YCSB: 600k-record KV store, zipfian writes (the default).
+    Ycsb,
+    /// TPC-C: warehouse/order management, NewOrder + Payment mix.
+    Tpcc,
+}
+
+/// A complete experiment description.
+#[derive(Clone)]
+pub struct Scenario {
+    pub protocol: ProtocolKind,
+    pub n: usize,
+    pub batch_size: usize,
+    pub clients: usize,
+    pub sim_seconds: f64,
+    pub warmup_seconds: f64,
+    pub view_timer: SimDuration,
+    pub delta: SimDuration,
+    pub workload: WorkloadKind,
+    pub seed: u64,
+    pub placement: Option<Vec<Region>>,
+    pub client_region: Region,
+    pub injected: Vec<(usize, SimDuration)>,
+    pub faults: Vec<(usize, Fault)>,
+    pub cost: CostModel,
+}
+
+impl Scenario {
+    pub fn new(protocol: ProtocolKind) -> Scenario {
+        Scenario {
+            protocol,
+            n: 4,
+            batch_size: 100,
+            clients: 400,
+            sim_seconds: 2.0,
+            warmup_seconds: 0.5,
+            view_timer: SimDuration::from_millis(10),
+            delta: SimDuration::from_millis(1),
+            workload: WorkloadKind::Ycsb,
+            seed: 42,
+            placement: None,
+            client_region: Region::NorthVirginia,
+            injected: Vec::new(),
+            faults: Vec::new(),
+            cost: CostModel::default(),
+        }
+    }
+
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    pub fn clients(mut self, c: usize) -> Self {
+        self.clients = c;
+        self
+    }
+
+    pub fn sim_seconds(mut self, s: f64) -> Self {
+        self.sim_seconds = s;
+        self
+    }
+
+    pub fn warmup_seconds(mut self, s: f64) -> Self {
+        self.warmup_seconds = s;
+        self
+    }
+
+    pub fn view_timer(mut self, d: SimDuration) -> Self {
+        self.view_timer = d;
+        self
+    }
+
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.workload = w;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Spread replicas uniformly over the first `count` paper regions.
+    pub fn geo_regions(mut self, count: usize) -> Self {
+        self.placement = Some(spread(self.n, count));
+        self
+    }
+
+    /// Explicit placement (e.g. a Virginia/London split).
+    pub fn placement(mut self, p: Vec<Region>) -> Self {
+        self.placement = Some(p);
+        self
+    }
+
+    pub fn clients_in(mut self, r: Region) -> Self {
+        self.client_region = r;
+        self
+    }
+
+    /// Inject `delay` on the first `k` replicas' links (Fig. 9).
+    pub fn inject_delay(mut self, k: usize, delay: SimDuration) -> Self {
+        self.injected = (0..k).map(|i| (i, delay)).collect();
+        self
+    }
+
+    /// Assign `fault` to `count` replicas, chosen as the replicas whose
+    /// leader turns are spread round-robin (ids 1, 1+⌈n/count⌉, ...). The
+    /// paper varies "the number of slow/faulty leaders".
+    pub fn faulty_leaders(mut self, count: usize, fault: Fault) -> Self {
+        if count == 0 {
+            return self;
+        }
+        let stride = (self.n / count).max(1);
+        self.faults = (0..count).map(|i| ((1 + i * stride) % self.n, fault.clone())).collect();
+        self
+    }
+
+    pub fn with_fault(mut self, replica: usize, fault: Fault) -> Self {
+        self.faults.push((replica, fault));
+        self
+    }
+
+    /// Execute the scenario.
+    pub fn run(self) -> Report {
+        let mut cfg = SystemConfig::new(self.n);
+        cfg.batch_size = self.batch_size;
+        cfg.view_timer = self.view_timer;
+        cfg.delta = self.delta;
+        cfg.deployment_seed = self.seed;
+        let f = cfg.f();
+
+        let placement =
+            self.placement.clone().unwrap_or_else(|| vec![Region::NorthVirginia; self.n]);
+        let mut net = NetModel::from_regions(&placement, self.client_region);
+        for (r, d) in &self.injected {
+            net.inject(ReplicaId(*r as u32), *d);
+        }
+
+        let exec = match self.workload {
+            WorkloadKind::Ycsb => {
+                ExecConfig { ycsb_records: YcsbGen::PAPER_RECORDS, tpcc_warehouses: 4 }
+            }
+            WorkloadKind::Tpcc => ExecConfig { ycsb_records: 0, tpcc_warehouses: 4 },
+        };
+        let workload: Box<dyn Workload> = match self.workload {
+            WorkloadKind::Ycsb => Box::new(YcsbGen::paper_default(self.seed)),
+            WorkloadKind::Tpcc => Box::new(TpccGen::paper_default(self.seed)),
+        };
+
+        let pool = SharedMempool::new();
+        let engines: Vec<Box<dyn Replica>> = (0..self.n)
+            .map(|i| {
+                let fault = self
+                    .faults
+                    .iter()
+                    .find(|(r, _)| *r == i)
+                    .map(|(_, fl)| fl.clone())
+                    .unwrap_or(Fault::Honest);
+                build_with_source(
+                    self.protocol,
+                    cfg.clone(),
+                    ReplicaId(i as u32),
+                    fault,
+                    exec,
+                    Box::new(pool.clone()),
+                )
+            })
+            .collect();
+
+        let mut runner = SimRunner::new(
+            engines,
+            pool,
+            net,
+            self.cost.clone(),
+            self.protocol,
+            f,
+            workload,
+            self.seed,
+        );
+        runner.spawn_clients(self.clients);
+        runner.run(
+            SimDuration::from_secs_f64(self.warmup_seconds),
+            SimDuration::from_secs_f64(self.sim_seconds),
+        );
+        let honest: Vec<usize> =
+            (0..self.n).filter(|i| !self.faults.iter().any(|(r, _)| r == i)).collect();
+        runner.check_prefix_agreement(&honest);
+        let stats = runner.stats().clone();
+
+        Report {
+            protocol: self.protocol,
+            n: self.n,
+            f,
+            batch_size: self.batch_size,
+            workload: self.workload,
+            sim_seconds: self.sim_seconds,
+            committed_txs: stats.finalized_txs,
+            throughput_tps: stats.finalized_txs as f64 / self.sim_seconds,
+            mean_latency_ms: stats.mean_latency_ms,
+            p50_latency_ms: stats.p50_latency_ms,
+            p99_latency_ms: stats.p99_latency_ms,
+            committed_blocks: stats.committed_blocks,
+            orphaned_blocks: stats.orphaned_blocks,
+            rollbacks: stats.rollbacks,
+            views_entered: stats.views_entered,
+            invariant_violations: stats.invariant_violations,
+        }
+    }
+}
+
+fn build_with_source(
+    kind: ProtocolKind,
+    cfg: SystemConfig,
+    id: ReplicaId,
+    fault: Fault,
+    exec: ExecConfig,
+    source: Box<dyn hs1_core::common::TxSource>,
+) -> Box<dyn Replica> {
+    use hs1_core::basic::BasicEngine;
+    use hs1_core::chained::{ChainDepth, ChainedEngine};
+    use hs1_core::slotted::SlottedEngine;
+    match kind {
+        ProtocolKind::HotStuff => Box::new(ChainedEngine::with_source(
+            cfg,
+            id,
+            ChainDepth::Three,
+            false,
+            fault,
+            exec,
+            source,
+        )),
+        ProtocolKind::HotStuff2 => Box::new(ChainedEngine::with_source(
+            cfg,
+            id,
+            ChainDepth::Two,
+            false,
+            fault,
+            exec,
+            source,
+        )),
+        ProtocolKind::HotStuff1 => Box::new(ChainedEngine::with_source(
+            cfg,
+            id,
+            ChainDepth::Two,
+            true,
+            fault,
+            exec,
+            source,
+        )),
+        ProtocolKind::HotStuff1Basic => {
+            Box::new(BasicEngine::with_source(cfg, id, fault, exec, source))
+        }
+        ProtocolKind::HotStuff1Slotted => {
+            Box::new(SlottedEngine::with_source(cfg, id, fault, exec, source))
+        }
+    }
+}
+
+/// Results of one scenario run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub protocol: ProtocolKind,
+    pub n: usize,
+    pub f: usize,
+    pub batch_size: usize,
+    pub workload: WorkloadKind,
+    pub sim_seconds: f64,
+    /// Transactions finalized by clients inside the measurement window.
+    pub committed_txs: u64,
+    pub throughput_tps: f64,
+    pub mean_latency_ms: f64,
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    pub committed_blocks: u64,
+    pub orphaned_blocks: u64,
+    pub rollbacks: u64,
+    pub views_entered: u64,
+    pub invariant_violations: Vec<String>,
+}
+
+impl Report {
+    pub fn invariants_ok(&self) -> bool {
+        self.invariant_violations.is_empty()
+    }
+
+    /// One-line summary for bench output.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} n={:<3} batch={:<6} tput={:>10.0} tx/s  lat(mean/p50/p99)={:>8.2}/{:>8.2}/{:>8.2} ms  blocks={} orphaned={} rollbacks={}",
+            self.protocol.name(),
+            self.n,
+            self.batch_size,
+            self.throughput_tps,
+            self.mean_latency_ms,
+            self.p50_latency_ms,
+            self.p99_latency_ms,
+            self.committed_blocks,
+            self.orphaned_blocks,
+            self.rollbacks,
+        )
+    }
+
+    /// CSV row (matches [`Report::csv_header`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:?},{:.0},{:.3},{:.3},{:.3},{},{},{}",
+            self.protocol.name(),
+            self.n,
+            self.f,
+            self.batch_size,
+            self.workload,
+            self.throughput_tps,
+            self.mean_latency_ms,
+            self.p50_latency_ms,
+            self.p99_latency_ms,
+            self.committed_blocks,
+            self.orphaned_blocks,
+            self.rollbacks,
+        )
+    }
+
+    pub fn csv_header() -> &'static str {
+        "protocol,n,f,batch,workload,throughput_tps,mean_ms,p50_ms,p99_ms,blocks,orphaned,rollbacks"
+    }
+}

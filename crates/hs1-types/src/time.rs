@@ -1,0 +1,162 @@
+//! Virtual time. Engines are written against `SimTime`/`SimDuration` so the
+//! same state machines run under the discrete-event simulator (virtual
+//! clock) and the TCP runtime (wall clock mapped onto `SimTime`).
+
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, in nanoseconds since deployment start.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference between two instants.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        SimDuration((s * 1e9) as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl std::fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0 / 1000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.0, 5_000_000);
+        assert_eq!((t + SimDuration::from_micros(1)).0, 5_001_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO); // saturating
+        assert_eq!((t - SimDuration::from_secs(1)), SimTime::ZERO); // saturating
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(SimDuration::from_millis(1500).as_millis_f64(), 1500.0);
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert!((SimTime(1_500_000_000).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
+        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
+    }
+}

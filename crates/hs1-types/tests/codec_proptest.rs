@@ -1,0 +1,176 @@
+//! Property tests: every message round-trips through the wire codec, and
+//! the decoder never panics on arbitrary bytes.
+
+use std::sync::Arc;
+
+use hs1_crypto::{Digest, Signature};
+use hs1_types::block::{Block, BlockId};
+use hs1_types::cert::{CertKind, Certificate, TimeoutCert};
+use hs1_types::codec::{Decode, Encode};
+use hs1_types::ids::{ClientId, ReplicaId, Slot, View};
+use hs1_types::message::{
+    Message, NewSlotMsg, NewViewMsg, PrepareMsg, ProposeMsg, RejectMsg, ReplyKind, ResponseMsg,
+    VoteInfo, VoteMsg, WishMsg,
+};
+use hs1_types::tx::{Transaction, TxId, TxOp};
+use proptest::prelude::*;
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest)
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    any::<[u8; 32]>().prop_map(Signature)
+}
+
+fn arb_block_id() -> impl Strategy<Value = BlockId> {
+    arb_digest().prop_map(BlockId)
+}
+
+fn arb_txop() -> impl Strategy<Value = TxOp> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(key, seed)| TxOp::KvWrite { key, seed }),
+        any::<u64>().prop_map(|key| TxOp::KvRead { key }),
+        (any::<u16>(), any::<u8>(), any::<u16>(), any::<u8>(), any::<u64>()).prop_map(
+            |(warehouse, district, customer, lines, seed)| TxOp::TpccNewOrder {
+                warehouse,
+                district,
+                customer,
+                lines,
+                seed
+            }
+        ),
+        (any::<u16>(), any::<u8>(), any::<u16>(), any::<u32>()).prop_map(
+            |(warehouse, district, customer, amount_cents)| TxOp::TpccPayment {
+                warehouse,
+                district,
+                customer,
+                amount_cents
+            }
+        ),
+        Just(TxOp::Noop),
+    ]
+}
+
+fn arb_tx() -> impl Strategy<Value = Transaction> {
+    (any::<u32>(), any::<u64>(), arb_txop())
+        .prop_map(|(c, s, op)| Transaction::new(TxId::new(ClientId(c), s), op))
+}
+
+fn arb_cert_kind() -> impl Strategy<Value = CertKind> {
+    prop_oneof![
+        Just(CertKind::Quorum),
+        Just(CertKind::Commit),
+        Just(CertKind::NewSlot),
+        any::<u64>().prop_map(|v| CertKind::NewView { formed_in: View(v) }),
+    ]
+}
+
+fn arb_cert() -> impl Strategy<Value = Certificate> {
+    (
+        arb_cert_kind(),
+        any::<u64>(),
+        any::<u32>(),
+        arb_block_id(),
+        prop::collection::vec((any::<u32>().prop_map(ReplicaId), arb_sig()), 0..5),
+    )
+        .prop_map(|(kind, view, slot, block, sigs)| Certificate {
+            kind,
+            view: View(view),
+            slot: Slot(slot),
+            block,
+            sigs,
+        })
+}
+
+fn arb_block() -> impl Strategy<Value = Arc<Block>> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        arb_cert(),
+        prop::option::of(arb_block_id()),
+        prop::collection::vec(arb_tx(), 0..8),
+    )
+        .prop_map(|(p, v, s, justify, carry, txs)| {
+            Arc::new(match carry {
+                Some(c) => Block::new_with_carry(ReplicaId(p), View(v), Slot(s), justify, c, txs),
+                None => Block::new(ReplicaId(p), View(v), Slot(s), justify, txs),
+            })
+        })
+}
+
+fn arb_vote() -> impl Strategy<Value = VoteInfo> {
+    (any::<u64>(), any::<u32>(), arb_block_id(), arb_sig()).prop_map(|(v, s, b, sig)| VoteInfo {
+        view: View(v),
+        slot: Slot(s),
+        block: b,
+        share: sig,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_tx().prop_map(Message::Request),
+        (arb_tx(), arb_block_id(), arb_digest(), any::<bool>(), any::<u64>()).prop_map(
+            |(tx, block, result, spec, view)| Message::Response(ResponseMsg {
+                tx: tx.id,
+                block,
+                result,
+                kind: if spec { ReplyKind::Speculative } else { ReplyKind::Committed },
+                view: View(view),
+            })
+        ),
+        (arb_block(), prop::option::of(arb_cert()))
+            .prop_map(|(block, commit_cert)| Message::Propose(ProposeMsg { block, commit_cert })),
+        arb_vote().prop_map(|vote| Message::Vote(VoteMsg { vote })),
+        arb_cert().prop_map(|cert| Message::Prepare(PrepareMsg { cert })),
+        (any::<u64>(), arb_cert(), prop::option::of(arb_vote())).prop_map(
+            |(dv, high_cert, vote)| Message::NewView(NewViewMsg {
+                dest_view: View(dv),
+                high_cert,
+                vote
+            })
+        ),
+        (any::<u64>(), any::<u32>(), arb_cert(), arb_vote()).prop_map(|(v, s, high_cert, vote)| {
+            Message::NewSlot(NewSlotMsg { view: View(v), slot: Slot(s), high_cert, vote })
+        }),
+        (any::<u64>(), any::<u32>(), arb_cert()).prop_map(|(v, s, high_cert)| {
+            Message::Reject(RejectMsg { view: View(v), slot: Slot(s), high_cert })
+        }),
+        (any::<u64>(), arb_sig())
+            .prop_map(|(v, share)| Message::Wish(WishMsg { view: View(v), share })),
+        (any::<u64>(), prop::collection::vec((any::<u32>().prop_map(ReplicaId), arb_sig()), 0..4))
+            .prop_map(|(v, sigs)| Message::Tc(TimeoutCert { view: View(v), sigs })),
+        arb_block_id().prop_map(|id| Message::FetchBlock { id }),
+        arb_block().prop_map(|block| Message::FetchResp { block }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let bytes = msg.encoded();
+        let back = Message::decode_exact(&bytes).expect("well-formed encoding must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Hostile input: decoding may fail, but must not panic.
+        let _ = Message::decode_exact(&bytes);
+    }
+
+    #[test]
+    fn block_id_deterministic(block in arb_block()) {
+        let again = Block::decode_exact(&block.encoded()).expect("decode");
+        prop_assert_eq!(again.id(), block.id());
+    }
+
+    #[test]
+    fn encoding_is_injective_on_views(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(View(a).encoded() == View(b).encoded(), a == b);
+    }
+}

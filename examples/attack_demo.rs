@@ -1,0 +1,61 @@
+//! Byzantine attack demonstration (paper §7.3): leader slowness and
+//! tail-forking against streamlined HotStuff-1 with and without slotting.
+//!
+//! ```text
+//! cargo run --release --example attack_demo
+//! ```
+
+use hotstuff1::consensus::Fault;
+use hotstuff1::sim::{ProtocolKind, Scenario};
+use hotstuff1::types::SimDuration;
+
+fn run(p: ProtocolKind, fault: Option<Fault>, label: &str) -> (f64, f64) {
+    let mut s = Scenario::new(p)
+        .replicas(8)
+        .batch_size(100)
+        .clients(200)
+        .view_timer(SimDuration::from_millis(10))
+        .sim_seconds(1.5)
+        .warmup_seconds(0.3);
+    if let Some(f) = fault {
+        s = s.faulty_leaders(2, f);
+    }
+    let r = s.run();
+    assert!(r.invariants_ok(), "{label}: {:?}", r.invariant_violations);
+    println!(
+        "  {:<34} {:>10.0} tx/s {:>9.2} ms  (orphaned blocks: {})",
+        label, r.throughput_tps, r.mean_latency_ms, r.orphaned_blocks
+    );
+    (r.throughput_tps, r.mean_latency_ms)
+}
+
+fn main() {
+    println!("Attack lab: 8 replicas, 2 Byzantine leaders, τ = 10 ms\n");
+
+    println!("Leader slowness (D6): rational leaders propose at the view deadline");
+    let (base, _) = run(ProtocolKind::HotStuff1, None, "HotStuff-1, no attack");
+    let (slow, _) = run(ProtocolKind::HotStuff1, Some(Fault::SlowLeader), "HotStuff-1, 2 slow leaders");
+    let (sbase, _) = run(ProtocolKind::HotStuff1Slotted, None, "HotStuff-1(slotting), no attack");
+    let (sslow, _) =
+        run(ProtocolKind::HotStuff1Slotted, Some(Fault::SlowLeader), "HotStuff-1(slotting), 2 slow");
+    println!(
+        "  -> throughput kept: {:.0}% without slotting vs {:.0}% with slotting\n",
+        100.0 * slow / base,
+        100.0 * sslow / sbase
+    );
+
+    println!("Tail-forking (D7): faulty leaders orphan the previous leader's block");
+    let (tf, _) = run(ProtocolKind::HotStuff1, Some(Fault::TailFork), "HotStuff-1, 2 tail-forkers");
+    let (stf, _) = run(
+        ProtocolKind::HotStuff1Slotted,
+        Some(Fault::TailFork),
+        "HotStuff-1(slotting), 2 tail-forkers",
+    );
+    println!(
+        "  -> throughput kept: {:.0}% without slotting vs {:.0}% with slotting",
+        100.0 * tf / base,
+        100.0 * stf / sbase
+    );
+    println!("\nSlotting lets each leader drive many slots per view, so a slow or");
+    println!("malicious successor can damage at most the tail of a view (§6.2).");
+}

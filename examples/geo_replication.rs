@@ -1,0 +1,40 @@
+//! Geo-replicated deployment (paper Fig. 8e–h): 16 replicas spread across
+//! 2–5 world regions. Shows how inter-region round-trips dominate latency
+//! while HotStuff-1 keeps the lowest client latency at every scale.
+//!
+//! ```text
+//! cargo run --release --example geo_replication
+//! ```
+
+use hotstuff1::sim::{ProtocolKind, Scenario};
+use hotstuff1::types::SimDuration;
+
+fn main() {
+    println!("Geo-scale replication: 16 replicas over k regions, YCSB, batch 100\n");
+    println!("{:<10} {:<24} {:>12} {:>12}", "regions", "protocol", "tx/s", "mean ms");
+    for regions in 2usize..=5 {
+        for p in [ProtocolKind::HotStuff2, ProtocolKind::HotStuff1] {
+            let r = Scenario::new(p)
+                .replicas(16)
+                .batch_size(100)
+                .clients(200)
+                .geo_regions(regions)
+                .view_timer(SimDuration::from_millis(600))
+                .sim_seconds(2.0)
+                .warmup_seconds(0.5)
+                .run();
+            assert!(r.invariants_ok(), "{p:?}: {:?}", r.invariant_violations);
+            println!(
+                "{:<10} {:<24} {:>12.0} {:>12.1}",
+                regions,
+                p.name(),
+                r.throughput_tps,
+                r.mean_latency_ms
+            );
+        }
+    }
+    println!(
+        "\nAdding regions stretches every consensus hop to WAN round-trip times;\n\
+         HotStuff-1's two-hop saving compounds into hundreds of milliseconds."
+    );
+}

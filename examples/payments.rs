@@ -1,0 +1,44 @@
+//! A financial-platform scenario (the paper's §1 motivation): a TPC-C
+//! style payment/order workload where response latency is the product
+//! metric. Compares all four evaluated protocols on a 16-replica cluster.
+//!
+//! ```text
+//! cargo run --release --example payments
+//! ```
+
+use hotstuff1::sim::{ProtocolKind, Scenario, WorkloadKind};
+
+fn main() {
+    println!("Payment platform: 16 replicas, TPC-C NewOrder/Payment mix, batch 200\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "protocol", "tx/s", "mean ms", "p99 ms"
+    );
+    let mut rows = Vec::new();
+    for p in ProtocolKind::EVALUATED {
+        let r = Scenario::new(p)
+            .replicas(16)
+            .batch_size(200)
+            .clients(400)
+            .workload(WorkloadKind::Tpcc)
+            .sim_seconds(1.5)
+            .warmup_seconds(0.3)
+            .run();
+        assert!(r.invariants_ok(), "{p:?}: {:?}", r.invariant_violations);
+        println!(
+            "{:<24} {:>12.0} {:>12.2} {:>12.2}",
+            p.name(),
+            r.throughput_tps,
+            r.mean_latency_ms,
+            r.p99_latency_ms
+        );
+        rows.push((p, r));
+    }
+    let hs1 = rows.iter().find(|(p, _)| *p == ProtocolKind::HotStuff1).unwrap();
+    let hs = rows.iter().find(|(p, _)| *p == ProtocolKind::HotStuff).unwrap();
+    println!(
+        "\nA customer paying through HotStuff-1 waits {:.1}% less than through HotStuff —\n\
+         the early finality confirmation arrives after one phase of consensus (§3).",
+        100.0 * (hs.1.mean_latency_ms - hs1.1.mean_latency_ms) / hs.1.mean_latency_ms
+    );
+}
