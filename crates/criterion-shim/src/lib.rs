@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container that builds this workspace has no access to crates.io, so
+//! this crate vendors the *subset* of criterion's API that the benches in
+//! `hs1-bench` use: [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with
+//! `iter` / `iter_batched`, [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain wall-clock loop with
+//! a calibrated iteration count — good enough for relative comparisons,
+//! with none of criterion's statistics. Swap in the real crate by pointing
+//! the `criterion` dependency back at crates.io; no bench code changes.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Mirrors `criterion::BatchSize`; only affects how many setup calls we
+/// amortize per timing pass (the shim always re-runs setup per batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target measurement time per benchmark, overridable with
+/// `CRITERION_SHIM_MEASURE_MS` (default 300 ms; real criterion uses 5 s).
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MEASURE_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last routine measured.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { last_ns: f64::NAN }
+    }
+
+    /// Time `routine` by running it repeatedly inside a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that fills ~1/10 of the window.
+        let window = measure_window();
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= window / 10 || iters >= 1 << 30 {
+                // Final measurement pass scaled to fill the window.
+                let scale = (window.as_secs_f64() / dt.as_secs_f64().max(1e-9)).min(1024.0);
+                let final_iters = ((iters as f64) * scale).max(1.0) as u64;
+                let t1 = Instant::now();
+                for _ in 0..final_iters {
+                    std_black_box(routine());
+                }
+                self.last_ns = t1.elapsed().as_secs_f64() * 1e9 / final_iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let window = measure_window();
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let wall = Instant::now();
+        while total < window && wall.elapsed() < window * 4 {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            total += t0.elapsed();
+            iters += 1;
+        }
+        self.last_ns = total.as_secs_f64() * 1e9 / iters.max(1) as f64;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!("{full:<40} time: [{}]", fmt_ns(b.last_ns));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench` plus an optional name filter; keep
+        // the first free-standing arg as a substring filter like criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "benches");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.matches(id) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            println!("{id:<40} time: [{}]", fmt_ns(b.last_ns));
+        }
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// benchmark function against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

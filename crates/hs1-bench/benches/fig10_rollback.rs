@@ -14,15 +14,11 @@ fn main() {
     let n = 32usize;
     let f = 10usize;
     for faulty in [0usize, 1, 4, 7, 10] {
-        for p in [
-            ProtocolKind::HotStuff2,
-            ProtocolKind::HotStuff1,
-            ProtocolKind::HotStuff1Slotted,
-        ] {
+        for p in [ProtocolKind::HotStuff2, ProtocolKind::HotStuff1, ProtocolKind::HotStuff1Slotted]
+        {
             // Victims: the f correct replicas with the highest ids (never
             // overlapping the faulty leader set, which starts at id 1).
-            let victims: Vec<ReplicaId> =
-                ((n - f)..n).map(|i| ReplicaId(i as u32)).collect();
+            let victims: Vec<ReplicaId> = ((n - f)..n).map(|i| ReplicaId(i as u32)).collect();
             let report = standard(
                 Scenario::new(p)
                     .replicas(n)

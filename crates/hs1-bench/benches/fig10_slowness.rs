@@ -22,10 +22,7 @@ fn main() {
                         .faulty_leaders(slow, Fault::SlowLeader),
                 )
                 .run();
-                sink.record(
-                    &format!("timer={timer_ms}ms slow={slow} {}", p.name()),
-                    &report,
-                );
+                sink.record(&format!("timer={timer_ms}ms slow={slow} {}", p.name()), &report);
             }
         }
     }

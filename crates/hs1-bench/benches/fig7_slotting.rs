@@ -1,0 +1,27 @@
+//! Figures 6–7: adaptive slotting — slotted HotStuff-1 against the
+//! streamlined baselines as the view timer stretches. Slotting keeps a
+//! leader productive for many slots per view, so throughput should hold
+//! roughly flat while the single-slot engines degrade with longer views.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig7_slotting", "adaptive slotting vs view timer (Figs 6-7)");
+    for timer_ms in [10u64, 25, 50, 100, 250] {
+        for p in [ProtocolKind::HotStuff1Slotted, ProtocolKind::HotStuff1, ProtocolKind::HotStuff2]
+        {
+            let report = standard(
+                Scenario::new(p)
+                    .replicas(16)
+                    .batch_size(100)
+                    .clients(400)
+                    .view_timer(SimDuration::from_millis(timer_ms)),
+            )
+            .run();
+            sink.record(&format!("timer={timer_ms}ms {}", p.name()), &report);
+        }
+    }
+    sink.finish();
+}

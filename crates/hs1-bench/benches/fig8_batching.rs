@@ -8,10 +8,8 @@ fn main() {
     let mut sink = FigureSink::new("fig8_batching", "throughput/latency vs batch size (Fig 8c,d)");
     for batch in [100usize, 1000, 2000, 5000, 10000] {
         for p in ProtocolKind::EVALUATED {
-            let report = standard(
-                Scenario::new(p).replicas(32).batch_size(batch).clients(batch * 2),
-            )
-            .run();
+            let report =
+                standard(Scenario::new(p).replicas(32).batch_size(batch).clients(batch * 2)).run();
             sink.record(&format!("batch={batch} {}", p.name()), &report);
         }
     }

@@ -11,8 +11,7 @@ fn main() {
     let mut latencies = Vec::new();
     for p in [ProtocolKind::HotStuff, ProtocolKind::HotStuff2, ProtocolKind::HotStuff1] {
         // Light load isolates protocol latency from queueing.
-        let report =
-            standard(Scenario::new(p).replicas(31).batch_size(100).clients(100)).run();
+        let report = standard(Scenario::new(p).replicas(31).batch_size(100).clients(100)).run();
         println!(
             "  {:<12} declared half-phases={} measured mean latency={:.2} ms",
             p.name(),

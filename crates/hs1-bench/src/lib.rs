@@ -14,10 +14,7 @@ use hs1_sim::{Report, Scenario};
 
 /// Measurement window in simulated seconds (`HS1_BENCH_SECONDS`).
 pub fn sim_seconds() -> f64 {
-    std::env::var("HS1_BENCH_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("HS1_BENCH_SECONDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Apply the standard measurement window to a scenario.

@@ -140,7 +140,7 @@ impl BasicEngine {
             timer: Timer::ViewTimeout(self.view),
             at: self.pm.deadline(self.view, now),
         });
-        if self.view.0 % 64 == 0 {
+        if self.view.0.is_multiple_of(64) {
             self.pm.prune_below(self.view);
             self.core.prune(2048);
             let v = self.view.0;
@@ -196,11 +196,8 @@ impl BasicEngine {
                         block: vote.block,
                         sigs: shares.clone(),
                     };
-                    let better = self
-                        .high_commit
-                        .as_ref()
-                        .map(|c| cert.rank() > c.rank())
-                        .unwrap_or(true);
+                    let better =
+                        self.high_commit.as_ref().map(|c| cert.rank() > c.rank()).unwrap_or(true);
                     if better {
                         self.high_commit = Some(cert);
                     }
@@ -246,7 +243,13 @@ impl BasicEngine {
         });
     }
 
-    fn on_propose(&mut self, from: ReplicaId, msg: ProposeMsg, now: SimTime, out: &mut Vec<Action>) {
+    fn on_propose(
+        &mut self,
+        from: ReplicaId,
+        msg: ProposeMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let b = msg.block.clone();
         let pv = b.view;
         if pv < self.view || b.slot != Slot::FIRST {
@@ -269,8 +272,7 @@ impl BasicEngine {
         // Traditional commit rule (Fig. 2 line 17): execute up to B_x for
         // the piggy-backed commit certificate C(x).
         if let Some(cc) = &msg.commit_cert {
-            if cc.kind == CertKind::Commit
-                && cc.verify(&self.core.registry, self.core.cfg.quorum())
+            if cc.kind == CertKind::Commit && cc.verify(&self.core.registry, self.core.cfg.quorum())
             {
                 self.commit_or_fetch(cc.block, b.proposer, out);
             }
@@ -318,7 +320,13 @@ impl BasicEngine {
         }
     }
 
-    fn on_prepare(&mut self, from: ReplicaId, msg: PrepareMsg, now: SimTime, out: &mut Vec<Action>) {
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        msg: PrepareMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let cert = msg.cert;
         let pv = cert.view;
         if pv < self.view || from != self.core.cfg.leader_of(pv) {
@@ -433,16 +441,17 @@ impl Replica for BasicEngine {
             }
             Message::FetchBlock { id } => {
                 if let Some(b) = self.core.block(id) {
-                    out.push(Action::Send { to: from, msg: Message::FetchResp { block: b.clone() } });
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::FetchResp { block: b.clone() },
+                    });
                 }
             }
-            Message::FetchResp { block } => {
-                if self.core.cert_valid(&block.justify) {
-                    self.fetching.remove(&block.id());
-                    self.core.insert_block(block);
-                    if let Some((target, source)) = self.retry_commit.take() {
-                        self.commit_or_fetch(target, source, out);
-                    }
+            Message::FetchResp { block } if self.core.cert_valid(&block.justify) => {
+                self.fetching.remove(&block.id());
+                self.core.insert_block(block);
+                if let Some((target, source)) = self.retry_commit.take() {
+                    self.commit_or_fetch(target, source, out);
                 }
             }
             Message::Request(tx) => self.core.source.offer(tx),

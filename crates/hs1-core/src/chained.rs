@@ -100,7 +100,15 @@ impl ChainedEngine {
         fault: Fault,
         exec: ExecConfig,
     ) -> ChainedEngine {
-        Self::with_source(cfg, me, depth, speculative, fault, exec, Box::new(crate::common::LocalMempool::new()))
+        Self::with_source(
+            cfg,
+            me,
+            depth,
+            speculative,
+            fault,
+            exec,
+            Box::new(crate::common::LocalMempool::new()),
+        )
     }
 
     pub fn with_source(
@@ -158,7 +166,7 @@ impl ChainedEngine {
             timer: Timer::ViewTimeout(self.view),
             at: self.pm.deadline(self.view, now),
         });
-        if self.view.0 % 64 == 0 {
+        if self.view.0.is_multiple_of(64) {
             self.pm.prune_below(self.view);
             self.core.prune(2048);
             let v = self.view.0;
@@ -360,10 +368,17 @@ impl ChainedEngine {
 
     // -- backup role ----------------------------------------------------------
 
-    fn on_propose(&mut self, from: ReplicaId, msg: ProposeMsg, now: SimTime, out: &mut Vec<Action>) {
+    fn on_propose(
+        &mut self,
+        from: ReplicaId,
+        msg: ProposeMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let b = msg.block.clone();
         let pv = b.view;
-        if b.proposer != self.core.cfg.leader_of(pv) || from != b.proposer || b.slot != Slot::FIRST {
+        if b.proposer != self.core.cfg.leader_of(pv) || from != b.proposer || b.slot != Slot::FIRST
+        {
             return;
         }
         if !self.core.cert_valid(&b.justify) {
@@ -491,11 +506,7 @@ impl ChainedEngine {
         if let Err(missing) = self.core.commit_chain(target, out) {
             self.request_block(missing, source, out);
             self.retry_commit = Some((target, source));
-        } else if self
-            .retry_commit
-            .map(|(t, _)| self.core.is_committed(t))
-            .unwrap_or(false)
-        {
+        } else if self.retry_commit.map(|(t, _)| self.core.is_committed(t)).unwrap_or(false) {
             self.retry_commit = None;
         }
     }
@@ -573,7 +584,10 @@ impl Replica for ChainedEngine {
             }
             Message::FetchBlock { id } => {
                 if let Some(b) = self.core.block(id) {
-                    out.push(Action::Send { to: from, msg: Message::FetchResp { block: b.clone() } });
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::FetchResp { block: b.clone() },
+                    });
                 }
             }
             Message::FetchResp { block } => self.on_fetch_resp(block, now, out),

@@ -377,10 +377,7 @@ mod tests {
         s.insert_block(b1.clone());
         let mut out = Vec::new();
         s.speculate(&b1, &mut out);
-        assert!(matches!(
-            out.as_slice(),
-            [Action::Executed { kind: ReplyKind::Speculative, .. }]
-        ));
+        assert!(matches!(out.as_slice(), [Action::Executed { kind: ReplyKind::Speculative, .. }]));
         out.clear();
         assert!(s.commit_chain(b1.id(), &mut out).is_ok());
         // Commit emits Committed but no second client response.
@@ -400,10 +397,7 @@ mod tests {
         out.clear();
         s.speculate(&b1_alt, &mut out);
         assert!(matches!(out[0], Action::RolledBack { blocks: 1 }));
-        assert!(matches!(
-            out[1],
-            Action::Executed { kind: ReplyKind::Speculative, .. }
-        ));
+        assert!(matches!(out[1], Action::Executed { kind: ReplyKind::Speculative, .. }));
     }
 
     #[test]
@@ -414,10 +408,7 @@ mod tests {
         let mut out = Vec::new();
         s.speculate(&b1, &mut out);
         s.speculate(&b1, &mut out);
-        assert_eq!(
-            out.iter().filter(|a| matches!(a, Action::Executed { .. })).count(),
-            1
-        );
+        assert_eq!(out.iter().filter(|a| matches!(a, Action::Executed { .. })).count(), 1);
     }
 
     #[test]

@@ -41,16 +41,33 @@ pub fn build_replica(
     exec: hs1_ledger::ExecConfig,
 ) -> Box<dyn Replica> {
     match kind {
-        ProtocolKind::HotStuff => {
-            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Three, false, fault, exec))
-        }
-        ProtocolKind::HotStuff2 => {
-            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Two, false, fault, exec))
-        }
-        ProtocolKind::HotStuff1 => {
-            Box::new(chained::ChainedEngine::new(cfg, id, chained::ChainDepth::Two, true, fault, exec))
-        }
+        ProtocolKind::HotStuff => Box::new(chained::ChainedEngine::new(
+            cfg,
+            id,
+            chained::ChainDepth::Three,
+            false,
+            fault,
+            exec,
+        )),
+        ProtocolKind::HotStuff2 => Box::new(chained::ChainedEngine::new(
+            cfg,
+            id,
+            chained::ChainDepth::Two,
+            false,
+            fault,
+            exec,
+        )),
+        ProtocolKind::HotStuff1 => Box::new(chained::ChainedEngine::new(
+            cfg,
+            id,
+            chained::ChainDepth::Two,
+            true,
+            fault,
+            exec,
+        )),
         ProtocolKind::HotStuff1Basic => Box::new(basic::BasicEngine::new(cfg, id, fault, exec)),
-        ProtocolKind::HotStuff1Slotted => Box::new(slotted::SlottedEngine::new(cfg, id, fault, exec)),
+        ProtocolKind::HotStuff1Slotted => {
+            Box::new(slotted::SlottedEngine::new(cfg, id, fault, exec))
+        }
     }
 }

@@ -51,7 +51,14 @@ impl Pacemaker {
         for k in 0..cfg.epoch_len() {
             start_times.insert(k, now + cfg.view_timer * k);
         }
-        Pacemaker { cfg, me, start_times, wishes: HashMap::new(), tc_done: HashSet::new(), awaiting: None }
+        Pacemaker {
+            cfg,
+            me,
+            start_times,
+            wishes: HashMap::new(),
+            tc_done: HashSet::new(),
+            awaiting: None,
+        }
     }
 
     /// The timeout deadline of `view`: `StartTime[view] + τ`, or `now + τ`
@@ -202,10 +209,7 @@ mod tests {
         let (cfg, _, _) = setup(4); // f = 1, epoch_len = 2, τ = 10ms
         let pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
         assert_eq!(pm.deadline(View(0), SimTime::ZERO), SimTime::ZERO + cfg.view_timer);
-        assert_eq!(
-            pm.deadline(View(1), SimTime::ZERO),
-            SimTime::ZERO + cfg.view_timer * 2
-        );
+        assert_eq!(pm.deadline(View(1), SimTime::ZERO), SimTime::ZERO + cfg.view_timer * 2);
         // Views outside epoch 0 fall back to now + τ.
         let now = SimTime::ZERO + SimDuration::from_millis(55);
         assert_eq!(pm.deadline(View(9), now), now + cfg.view_timer);
@@ -249,10 +253,8 @@ mod tests {
             let share = kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2)));
             pm.on_wish(ReplicaId(i), &WishMsg { view: View(2), share }, &reg, &mut out);
         }
-        let tcs: Vec<_> = out
-            .iter()
-            .filter(|a| matches!(a, Action::Broadcast { msg: Message::Tc(_) }))
-            .collect();
+        let tcs: Vec<_> =
+            out.iter().filter(|a| matches!(a, Action::Broadcast { msg: Message::Tc(_) })).collect();
         assert_eq!(tcs.len(), 1, "exactly one TC broadcast");
     }
 
@@ -279,7 +281,10 @@ mod tests {
 
         let sigs: Vec<_> = (0..3u32)
             .map(|i| {
-                (ReplicaId(i), kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2))))
+                (
+                    ReplicaId(i),
+                    kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2))),
+                )
             })
             .collect();
         let tc = TimeoutCert { view: View(2), sigs };
@@ -290,10 +295,8 @@ mod tests {
         assert_eq!(pm.deadline(View(2), t), t + cfg.view_timer);
         assert_eq!(pm.deadline(View(3), t), t + cfg.view_timer * 2);
         // R0 is not an epoch-2 leader (leaders are R2, R3): it relays.
-        let relays = out
-            .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Message::Tc(_), .. }))
-            .count();
+        let relays =
+            out.iter().filter(|a| matches!(a, Action::Send { msg: Message::Tc(_), .. })).count();
         assert_eq!(relays, 2);
         // Duplicate TC: no second release, no second relay.
         out.clear();

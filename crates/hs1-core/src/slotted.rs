@@ -196,7 +196,7 @@ impl SlottedEngine {
             timer: Timer::ViewTimeout(self.view),
             at: self.pm.deadline(self.view, now),
         });
-        if self.view.0 % 64 == 0 {
+        if self.view.0.is_multiple_of(64) {
             self.pm.prune_below(self.view);
             self.core.prune(4096);
             let v = self.view.0;
@@ -457,7 +457,13 @@ impl SlottedEngine {
 
     // -- leader: subsequent slots ------------------------------------------------
 
-    fn on_newslot(&mut self, from: ReplicaId, msg: NewSlotMsg, now: SimTime, out: &mut Vec<Action>) {
+    fn on_newslot(
+        &mut self,
+        from: ReplicaId,
+        msg: NewSlotMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         self.adopt_cert(msg.high_cert.clone(), from);
         if msg.view != self.view || !self.is_leader() {
             return;
@@ -532,14 +538,20 @@ impl SlottedEngine {
     // -- backup role -----------------------------------------------------------
 
     /// SafeSlot (Fig. 7 lines 1–11).
-    fn safe_slot(&self, ps: Slot, pv: View, justify: &Certificate, carry: Option<&Arc<Block>>) -> bool {
+    fn safe_slot(
+        &self,
+        ps: Slot,
+        pv: View,
+        justify: &Certificate,
+        carry: Option<&Arc<Block>>,
+    ) -> bool {
         match (ps == Slot::FIRST, &justify.kind) {
             // Case 1: fresh New-View certificate formed by this view.
             (true, CertKind::NewView { formed_in }) if *formed_in == pv => carry.is_none(),
             // Case 2: older New-View certificate; must carry B_{1,fv}.
-            (true, CertKind::NewView { formed_in }) => carry
-                .map(|u| u.slot == Slot::FIRST && u.view == *formed_in)
-                .unwrap_or(false),
+            (true, CertKind::NewView { formed_in }) => {
+                carry.map(|u| u.slot == Slot::FIRST && u.view == *formed_in).unwrap_or(false)
+            }
             // Case 3: New-Slot certificate; must carry B_{s_w+1, w}.
             (true, CertKind::NewSlot) => carry
                 .map(|u| u.view == justify.view && u.slot.is_successor_of(justify.slot))
@@ -554,7 +566,13 @@ impl SlottedEngine {
         }
     }
 
-    fn on_propose(&mut self, from: ReplicaId, msg: ProposeMsg, now: SimTime, out: &mut Vec<Action>) {
+    fn on_propose(
+        &mut self,
+        from: ReplicaId,
+        msg: ProposeMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let b = msg.block.clone();
         let pv = b.view;
         let ps = b.slot;
@@ -633,7 +651,7 @@ impl SlottedEngine {
         let carry_block = b.carry.and_then(|c| self.core.block(c).cloned());
         let safe = self.safe_slot(ps, pv, &justify, carry_block.as_ref());
         let rank_ok = self.high_cert.rank() <= justify.rank();
-        if (safe && rank_ok) || (self.fault.colludes() && safe) {
+        if safe && (rank_ok || self.fault.colludes()) {
             if justify.rank() > self.high_cert.rank() {
                 self.high_cert = justify.clone();
             }
@@ -652,7 +670,11 @@ impl SlottedEngine {
         } else {
             out.push(Action::Send {
                 to: b.proposer,
-                msg: Message::Reject(RejectMsg { view: pv, slot: ps, high_cert: self.high_cert.clone() }),
+                msg: Message::Reject(RejectMsg {
+                    view: pv,
+                    slot: ps,
+                    high_cert: self.high_cert.clone(),
+                }),
             });
         }
         // Disable voting for this slot either way (Fig. 7 line 26).
@@ -758,7 +780,10 @@ impl Replica for SlottedEngine {
             }
             Message::FetchBlock { id } => {
                 if let Some(b) = self.core.block(id) {
-                    out.push(Action::Send { to: from, msg: Message::FetchResp { block: b.clone() } });
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::FetchResp { block: b.clone() },
+                    });
                 }
             }
             Message::FetchResp { block } => self.on_fetch_resp(block, now, out),
@@ -803,8 +828,7 @@ impl Replica for SlottedEngine {
             }
             Timer::ProposeAt(v) => {
                 if v == self.view && self.is_leader() {
-                    let proposed =
-                        self.tally.as_ref().map(|t| t.first_proposed).unwrap_or(false);
+                    let proposed = self.tally.as_ref().map(|t| t.first_proposed).unwrap_or(false);
                     if !proposed {
                         // Slow leader finally proposes (one slot fits).
                         let justify = self.high_cert.clone();

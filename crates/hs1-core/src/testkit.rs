@@ -86,7 +86,8 @@ impl TestNet {
                     }
                 }
                 Action::SetTimer { timer, at } => {
-                    let at = if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
+                    let at =
+                        if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
                     self.push_event(at, Ev::Timer { at: from, timer });
                 }
                 Action::Executed { block, kind, .. } => {

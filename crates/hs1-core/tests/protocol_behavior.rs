@@ -158,25 +158,33 @@ fn hotstuff1_speculates_before_commit() {
         assert!(net.speculations_at(r) > 0, "replica {r} speculated");
     }
     // For each block, a replica's speculative execution precedes its
-    // commit (by log order).
+    // commit (by log order): once a replica has committed a block it must
+    // never speculate it, and the speculate-then-commit path must actually
+    // occur.
     let mut spec_seen = std::collections::HashSet::new();
+    let mut committed_seen = std::collections::HashSet::new();
+    let mut spec_then_commit = 0u64;
     for obs in &net.log {
         match obs {
             Obs::Executed { at, block, kind: ReplyKind::Speculative } => {
+                assert!(
+                    !committed_seen.contains(&(at.0, block.id())),
+                    "replica {} speculated block {:?} after committing it",
+                    at.0,
+                    block.id()
+                );
                 spec_seen.insert((at.0, block.id()));
             }
             Obs::Committed { at, block } => {
+                committed_seen.insert((at.0, block.id()));
                 if spec_seen.contains(&(at.0, block.id())) {
-                    // fine: speculation preceded commit
-                } else {
-                    // commit without speculation is allowed (e.g. first
-                    // blocks, committed-kind responses) — nothing to check
+                    spec_then_commit += 1;
                 }
             }
             _ => {}
         }
     }
-    assert!(!spec_seen.is_empty());
+    assert!(spec_then_commit > 0, "no block took the speculate-then-commit path");
 }
 
 #[test]
@@ -192,11 +200,9 @@ fn baselines_never_speculate() {
 
 #[test]
 fn no_rollbacks_in_fault_free_runs() {
-    for kind in [
-        ProtocolKind::HotStuff1,
-        ProtocolKind::HotStuff1Basic,
-        ProtocolKind::HotStuff1Slotted,
-    ] {
+    for kind in
+        [ProtocolKind::HotStuff1, ProtocolKind::HotStuff1Basic, ProtocolKind::HotStuff1Slotted]
+    {
         let mut net = net_for(kind, 4, vec![]);
         net.run_for(SimDuration::from_millis(100));
         for r in 0..4 {
@@ -216,16 +222,11 @@ fn hs1_commits_no_later_than_hs2_than_hs() {
         let mut net = net_for(kind, 4, vec![]);
         net.run_for(SimDuration::from_millis(100));
         // Find index in log of first Committed observation.
-        let idx = net
-            .log
-            .iter()
-            .position(|o| matches!(o, Obs::Committed { .. }))
-            .expect("some commit");
+        let idx =
+            net.log.iter().position(|o| matches!(o, Obs::Committed { .. })).expect("some commit");
         // Count EnteredView events before it as a proxy for phases.
-        let views_before = net.log[..idx]
-            .iter()
-            .filter(|o| matches!(o, Obs::EnteredView { .. }))
-            .count();
+        let views_before =
+            net.log[..idx].iter().filter(|o| matches!(o, Obs::EnteredView { .. })).count();
         first_commit.push(views_before);
     }
     assert!(
@@ -248,11 +249,7 @@ fn crash_fault_tolerated() {
 
 #[test]
 fn silent_replica_tolerated_by_two_chain_protocols() {
-    for kind in [
-        ProtocolKind::HotStuff2,
-        ProtocolKind::HotStuff1,
-        ProtocolKind::HotStuff1Slotted,
-    ] {
+    for kind in [ProtocolKind::HotStuff2, ProtocolKind::HotStuff1, ProtocolKind::HotStuff1Slotted] {
         let mut net = net_for(kind, 4, vec![(1, Fault::Silent)]);
         net.run_for(SimDuration::from_millis(400));
         let counts: Vec<usize> = [0, 2, 3].iter().map(|&r| net.committed_at(r).len()).collect();
@@ -327,11 +324,8 @@ fn slotted_proposes_multiple_slots_per_view() {
     net.run_for(SimDuration::from_millis(100));
     // ~10 views in 100ms at τ=10ms; hop 200µs ⇒ each view fits many slots.
     let blocks_committed = net.committed_at(0).len();
-    let views_entered = net
-        .log
-        .iter()
-        .filter(|o| matches!(o, Obs::EnteredView { at, .. } if at.0 == 0))
-        .count();
+    let views_entered =
+        net.log.iter().filter(|o| matches!(o, Obs::EnteredView { at, .. } if at.0 == 0)).count();
     assert!(
         blocks_committed > views_entered,
         "more blocks ({blocks_committed}) than views ({views_entered})"

@@ -74,19 +74,13 @@ mod tests {
     fn rfc4231_case1() {
         let key = [0x0b; 20];
         let d = hmac_sha256(&key, b"Hi There");
-        assert_eq!(
-            d.to_hex(),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-        );
+        assert_eq!(d.to_hex(), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
     }
 
     #[test]
     fn rfc4231_case2() {
         let d = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(
-            d.to_hex(),
-            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
-        );
+        assert_eq!(d.to_hex(), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
     }
 
     #[test]
@@ -94,20 +88,32 @@ mod tests {
         let key = [0xaa; 20];
         let msg = [0xdd; 50];
         let d = hmac_sha256(&key, &msg);
-        assert_eq!(
-            d.to_hex(),
-            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
-        );
+        assert_eq!(d.to_hex(), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
     }
 
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaa; 131];
         let d = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
-        assert_eq!(
-            d.to_hex(),
-            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
-        );
+        assert_eq!(d.to_hex(), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+    }
+
+    #[test]
+    fn rfc4231_case4_composite_key() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        let msg = [0xcd; 50];
+        let d = hmac_sha256(&key, &msg);
+        assert_eq!(d.to_hex(), "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+    }
+
+    #[test]
+    fn rfc4231_case7_long_key_and_data() {
+        let key = [0xaa; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than \
+                    block-size data. The key needs to be hashed before being used by the \
+                    HMAC algorithm.";
+        let d = hmac_sha256(&key, msg.as_ref());
+        assert_eq!(d.to_hex(), "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
     }
 
     #[test]

@@ -79,9 +79,7 @@ pub struct PublicKeyRegistry {
 impl PublicKeyRegistry {
     /// Build the registry for `count` participants of a deployment.
     pub fn derive(deployment_seed: u64, count: u32) -> PublicKeyRegistry {
-        let keys = (0..count)
-            .map(|i| KeyPair::derive(deployment_seed, i).secret)
-            .collect();
+        let keys = (0..count).map(|i| KeyPair::derive(deployment_seed, i).secret).collect();
         PublicKeyRegistry { keys }
     }
 

@@ -308,10 +308,7 @@ mod tests {
         assert_eq!(e.store().get(tpcc::warehouse_ytd(1)), Some(500));
         assert_eq!(e.store().get(tpcc::district_ytd(1, 1)), Some(500));
         assert_eq!(e.store().get(tpcc::customer_payments(1, 1, 42)), Some(1));
-        assert_eq!(
-            e.store().get(tpcc::customer_balance(1, 1, 42)),
-            Some(0u64.wrapping_sub(500))
-        );
+        assert_eq!(e.store().get(tpcc::customer_balance(1, 1, 42)), Some(0u64.wrapping_sub(500)));
     }
 
     #[test]
@@ -336,5 +333,58 @@ mod tests {
         assert_eq!(e.digest_of(BlockId::test(1)), None);
         let d = e.execute_committed(BlockId::test(1), &txs(2));
         assert_eq!(e.digest_of(BlockId::test(1)), Some(d));
+    }
+
+    /// A batch exercising every write path: YCSB writes, reads, TPC-C
+    /// NewOrder and Payment.
+    fn mixed_batch() -> Vec<Transaction> {
+        let mut out = txs(5);
+        out.push(Transaction { id: TxId::new(ClientId(9), 100), op: TxOp::KvRead { key: 7 } });
+        out.push(Transaction {
+            id: TxId::new(ClientId(9), 101),
+            op: TxOp::TpccNewOrder { warehouse: 1, district: 3, customer: 11, lines: 4, seed: 77 },
+        });
+        out.push(Transaction {
+            id: TxId::new(ClientId(9), 102),
+            op: TxOp::TpccPayment { warehouse: 1, district: 3, customer: 11, amount_cents: 250 },
+        });
+        out
+    }
+
+    #[test]
+    fn execute_rollback_reexecute_yields_identical_state_root() {
+        let batch = mixed_batch();
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let pristine_root = e.store().committed_store().state_root();
+
+        // Execute speculatively, then roll the block back.
+        let d1 = e.execute_speculative(BlockId::test(1), &batch);
+        assert_eq!(
+            e.store().committed_store().state_root(),
+            pristine_root,
+            "speculation must not touch committed state"
+        );
+        assert_eq!(e.rollback_conflicting(&[]), 1);
+        assert_eq!(
+            e.store().committed_store().state_root(),
+            pristine_root,
+            "rollback restores the pre-speculation state root"
+        );
+
+        // Re-execute the same block: identical result digest, and after
+        // promotion the committed root matches a replica that committed
+        // the block directly without ever speculating.
+        let d2 = e.execute_speculative(BlockId::test(1), &batch);
+        assert_eq!(d1, d2, "re-execution after rollback reproduces the digest");
+        let d3 = e.execute_committed(BlockId::test(1), &batch);
+        assert_eq!(d1, d3);
+
+        let mut direct = ExecutionEngine::new(ExecConfig::default());
+        direct.execute_committed(BlockId::test(1), &batch);
+        assert_eq!(
+            e.store().committed_store().state_root(),
+            direct.store().committed_store().state_root(),
+            "rollback + re-execute converges to the directly-committed state root"
+        );
     }
 }

@@ -59,6 +59,36 @@ impl KvStore {
             self.map.insert(k, v);
         }
     }
+
+    /// State root: SHA-256 over the sorted materialized writes plus the
+    /// logical record count. Two stores *with the same `record_count`* are
+    /// observably identical (every `get` agrees) iff their roots match,
+    /// because unwritten in-range keys read deterministically from
+    /// [`initial_value`]. Across different record counts the root is only
+    /// a fingerprint: e.g. a 10-record store with `initial_value(10)`
+    /// explicitly written at key 10 answers every `get` like a fresh
+    /// 11-record store, yet their roots differ.
+    ///
+    /// Writes that merely restate a key's initial value are excluded, so a
+    /// store that was written and rolled back to pre-state hashes the same
+    /// as one never touched.
+    pub fn state_root(&self) -> hs1_crypto::Digest {
+        let mut entries: Vec<(Key, Value)> = self
+            .map
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .filter(|&(k, v)| k >= self.record_count || v != initial_value(k))
+            .collect();
+        entries.sort_unstable();
+        let mut h = hs1_crypto::Sha256::new();
+        h.update(b"hs1-state-root");
+        h.update_u64(self.record_count);
+        for (k, v) in entries {
+            h.update_u64(k);
+            h.update_u64(v);
+        }
+        h.finalize()
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +133,39 @@ mod tests {
         s.apply(vec![(1, 10), (2, 20)]);
         assert_eq!(s.get(1), Some(10));
         assert_eq!(s.get(2), Some(20));
+    }
+
+    #[test]
+    fn state_root_tracks_observable_state() {
+        let mut a = KvStore::with_records(100);
+        let b = KvStore::with_records(100);
+        assert_eq!(a.state_root(), b.state_root(), "fresh stores agree");
+
+        a.put(5, 999);
+        assert_ne!(a.state_root(), b.state_root(), "write changes the root");
+
+        // Restating the initial value is observably a no-op.
+        a.put(5, initial_value(5));
+        assert_eq!(a.state_root(), b.state_root(), "restored store agrees");
+    }
+
+    #[test]
+    fn state_root_independent_of_write_order() {
+        let mut a = KvStore::with_records(10);
+        let mut b = KvStore::with_records(10);
+        a.put(1, 11);
+        a.put(2, 22);
+        b.put(2, 22);
+        b.put(1, 11);
+        assert_eq!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn state_root_binds_record_count() {
+        assert_ne!(
+            KvStore::with_records(10).state_root(),
+            KvStore::with_records(11).state_root(),
+            "keyspace size is part of observable state"
+        );
     }
 }

@@ -57,10 +57,7 @@ impl SpeculativeStore {
     /// Panics if `tag` is already being speculated (engines must not
     /// speculate the same block twice without rolling back).
     pub fn begin_speculation(&mut self, tag: BlockId) {
-        assert!(
-            !self.overlays.iter().any(|o| o.tag == tag),
-            "block {tag:?} already speculated"
-        );
+        assert!(!self.overlays.iter().any(|o| o.tag == tag), "block {tag:?} already speculated");
         self.overlays.push(Overlay { tag, writes: HashMap::new() });
     }
 

@@ -87,9 +87,7 @@ pub fn record_count(warehouses: u16) -> u64 {
 /// Deterministically pick an item id from a seed and line number (uniform
 /// over the item table; the workload generator imposes its own skew).
 pub fn item_for(seed: u64, line: u8) -> u32 {
-    let mut z = seed
-        .wrapping_add(line as u64)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut z = seed.wrapping_add(line as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     (z % ITEMS as u64) as u32
 }

@@ -22,8 +22,7 @@ fn main() {
         "hs1-slotted" => ProtocolKind::HotStuff1Slotted,
         _ => ProtocolKind::HotStuff1,
     };
-    let base_port: u16 =
-        args.get(3).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
+    let base_port: u16 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
     let seconds: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
 
     let f = SystemConfig::new(n).f();

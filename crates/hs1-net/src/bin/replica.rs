@@ -31,16 +31,14 @@ fn main() {
     let id: u32 = args[1].parse().expect("id");
     let n: usize = args[2].parse().expect("n");
     let protocol = parse_protocol(args.get(3).map(String::as_str).unwrap_or("hs1"));
-    let base_port: u16 =
-        args.get(4).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
+    let base_port: u16 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_BASE_PORT);
     let seconds: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(30);
 
     let mut cfg = SystemConfig::new(n);
     cfg.view_timer = hs1_types::SimDuration::from_millis(200);
     cfg.delta = hs1_types::SimDuration::from_millis(20);
     cfg.batch_size = 64;
-    let engine =
-        build_replica(protocol, cfg, ReplicaId(id), Fault::Honest, ExecConfig::default());
+    let engine = build_replica(protocol, cfg, ReplicaId(id), Fault::Honest, ExecConfig::default());
     let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
     println!("replica {id}/{n} [{}] on port {}", protocol.name(), base_port + id as u16);
     let mut runner = NodeRunner::new(engine, mesh);

@@ -4,7 +4,7 @@
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver};
+use std::sync::mpsc::{channel, Receiver};
 
 use crate::framing::{self, PeerKind};
 use hs1_core::client::FinalityTracker;
@@ -31,7 +31,7 @@ impl ClientDriver {
         protocol: ProtocolKind,
         f: usize,
     ) -> std::io::Result<ClientDriver> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let mut streams = Vec::with_capacity(n);
         for r in 0..n {
             let mut stream = TcpStream::connect((host, base_port + r as u16))?;
@@ -40,20 +40,23 @@ impl ClientDriver {
             let mut read_half = stream.try_clone()?;
             let tx = tx.clone();
             let rid = ReplicaId(r as u32);
-            std::thread::Builder::new().name(format!("client-{}-r{r}", id.0)).spawn(
-                move || {
-                    while let Ok(msg) = framing::read_msg(&mut read_half) {
-                        if let Message::Response(resp) = msg {
-                            if tx.send((rid, resp)).is_err() {
-                                break;
-                            }
+            std::thread::Builder::new().name(format!("client-{}-r{r}", id.0)).spawn(move || {
+                while let Ok(msg) = framing::read_msg(&mut read_half) {
+                    if let Message::Response(resp) = msg {
+                        if tx.send((rid, resp)).is_err() {
+                            break;
                         }
                     }
-                },
-            )?;
+                }
+            })?;
             streams.push(stream);
         }
-        Ok(ClientDriver { id, streams, responses: rx, tracker: FinalityTracker::new(n, f, protocol) })
+        Ok(ClientDriver {
+            id,
+            streams,
+            responses: rx,
+            tracker: FinalityTracker::new(n, f, protocol),
+        })
     }
 
     fn submit(&mut self, seq: u64) -> std::io::Result<TxId> {
@@ -75,16 +78,13 @@ impl ClientDriver {
         let mut current = self.submit(seq)?;
         let mut submitted_at = Instant::now();
         while Instant::now() < deadline {
-            match self.responses.recv_timeout(Duration::from_millis(20)) {
-                Ok((from, resp)) => {
-                    if self.tracker.on_response(from, &resp).is_some() && resp.tx == current {
-                        samples.push((current, submitted_at.elapsed().as_micros() as u64));
-                        seq += 1;
-                        current = self.submit(seq)?;
-                        submitted_at = Instant::now();
-                    }
+            if let Ok((from, resp)) = self.responses.recv_timeout(Duration::from_millis(20)) {
+                if self.tracker.on_response(from, &resp).is_some() && resp.tx == current {
+                    samples.push((current, submitted_at.elapsed().as_micros() as u64));
+                    seq += 1;
+                    current = self.submit(seq)?;
+                    submitted_at = Instant::now();
                 }
-                Err(_) => {}
             }
         }
         Ok(samples)

@@ -33,10 +33,9 @@ pub fn recv_hello(stream: &mut TcpStream) -> std::io::Result<PeerKind> {
     match buf[0] {
         0 => Ok(PeerKind::Replica(id)),
         1 => Ok(PeerKind::Client(id)),
-        t => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("bad hello tag {t}"),
-        )),
+        t => {
+            Err(std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad hello tag {t}")))
+        }
     }
 }
 

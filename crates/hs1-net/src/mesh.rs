@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 
 use crate::framing::{self, PeerKind};
 use hs1_types::{ClientId, Message, ReplicaId};
@@ -39,7 +39,7 @@ pub struct Mesh {
 impl Mesh {
     /// Bind the listener for `me` and start accepting.
     pub fn start(me: ReplicaId, n: usize, host: &str, base_port: u16) -> std::io::Result<Mesh> {
-        let (inbox_tx, inbox) = unbounded();
+        let (inbox_tx, inbox) = channel();
         let mesh = Mesh {
             me,
             n,
@@ -68,10 +68,10 @@ impl Mesh {
             let _ = self.inbox_tx.send(Inbound::FromReplica(self.me, msg));
             return;
         }
-        let mut peers = self.replicas.lock();
-        if !peers.contains_key(&to.0) {
+        let mut peers = self.replicas.lock().unwrap();
+        if let std::collections::hash_map::Entry::Vacant(e) = peers.entry(to.0) {
             if let Some(out) = self.connect(to) {
-                peers.insert(to.0, out);
+                e.insert(out);
             } else {
                 return;
             }
@@ -91,7 +91,7 @@ impl Mesh {
 
     /// Send a response to a connected client (no-op if unknown).
     pub fn send_client(&self, to: ClientId, msg: Message) {
-        let clients = self.clients.lock();
+        let clients = self.clients.lock().unwrap();
         if let Some(out) = clients.get(&to.0) {
             let _ = out.0.send(msg);
         }
@@ -113,7 +113,7 @@ impl Mesh {
 }
 
 fn spawn_writer(mut stream: TcpStream, name: &str) -> Outbound {
-    let (tx, rx) = unbounded::<Message>();
+    let (tx, rx) = channel::<Message>();
     let _ = thread::Builder::new().name(name.to_string()).spawn(move || {
         while let Ok(msg) = rx.recv() {
             if framing::write_msg(&mut stream, &msg).is_err() {
@@ -144,7 +144,7 @@ fn handle_incoming(
         PeerKind::Client(id) => {
             // Register the write half so responses can reach the client.
             let write_half = stream.try_clone()?;
-            clients.lock().insert(id, spawn_writer(write_half, &format!("w-client-{id}")));
+            clients.lock().unwrap().insert(id, spawn_writer(write_half, &format!("w-client-{id}")));
             thread::Builder::new().name(format!("r-client-{id}")).spawn(move || {
                 while let Ok(msg) = framing::read_msg(&mut stream) {
                     if inbox.send(Inbound::FromClient(ClientId(id), msg)).is_err() {

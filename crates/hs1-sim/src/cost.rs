@@ -92,23 +92,15 @@ mod tests {
         let block =
             Arc::new(Block::new(ReplicaId(0), View(1), Slot(1), Certificate::genesis(), txs));
         let propose = Message::Propose(ProposeMsg { block, commit_cert: None });
-        let wish = Message::Wish(WishMsg {
-            view: View(1),
-            share: hs1_crypto::Signature::ZERO,
-        });
+        let wish = Message::Wish(WishMsg { view: View(1), share: hs1_crypto::Signature::ZERO });
         assert!(c.recv_cost(&propose, 21) > c.recv_cost(&wish, 21) * 10);
     }
 
     #[test]
     fn propose_cost_scales_with_quorum() {
         let c = CostModel::default();
-        let block = Arc::new(Block::new(
-            ReplicaId(0),
-            View(1),
-            Slot(1),
-            Certificate::genesis(),
-            vec![],
-        ));
+        let block =
+            Arc::new(Block::new(ReplicaId(0), View(1), Slot(1), Certificate::genesis(), vec![]));
         let m = Message::Propose(ProposeMsg { block, commit_cert: None });
         assert!(c.recv_cost(&m, 43) > c.recv_cost(&m, 3));
     }

@@ -27,9 +27,13 @@ impl NetModel {
                 latency[i][j] = one_way(placement[i], placement[j]);
             }
         }
-        let client_latency =
-            placement.iter().map(|&r| one_way(r, client_region)).collect();
-        NetModel { latency, client_latency, injected: vec![SimDuration::ZERO; n], jitter_frac: 0.05 }
+        let client_latency = placement.iter().map(|&r| one_way(r, client_region)).collect();
+        NetModel {
+            latency,
+            client_latency,
+            injected: vec![SimDuration::ZERO; n],
+            jitter_frac: 0.05,
+        }
     }
 
     /// Single-region deployment of `n` replicas.
@@ -48,7 +52,12 @@ impl NetModel {
 
     /// One-way delay for a replica→replica message, with deterministic
     /// jitter drawn from `rng`.
-    pub fn replica_delay(&self, from: ReplicaId, to: ReplicaId, rng: &mut SplitMix64) -> SimDuration {
+    pub fn replica_delay(
+        &self,
+        from: ReplicaId,
+        to: ReplicaId,
+        rng: &mut SplitMix64,
+    ) -> SimDuration {
         let base = self.latency[from.0 as usize][to.0 as usize];
         let extra = self.injected[from.0 as usize] + self.injected[to.0 as usize];
         self.jittered(base, rng) + extra
@@ -101,7 +110,9 @@ mod tests {
         let cross = m.replica_delay(ReplicaId(0), ReplicaId(1), &mut rng);
         assert!(cross > same * 10);
         // Clients in Virginia: responses from HK replicas are slow.
-        assert!(m.client_delay(ReplicaId(1), &mut rng) > m.client_delay(ReplicaId(0), &mut rng) * 10);
+        assert!(
+            m.client_delay(ReplicaId(1), &mut rng) > m.client_delay(ReplicaId(0), &mut rng) * 10
+        );
     }
 
     #[test]

@@ -15,13 +15,8 @@ pub enum Region {
 }
 
 impl Region {
-    pub const ALL: [Region; 5] = [
-        Region::NorthVirginia,
-        Region::HongKong,
-        Region::London,
-        Region::SaoPaulo,
-        Region::Zurich,
-    ];
+    pub const ALL: [Region; 5] =
+        [Region::NorthVirginia, Region::HongKong, Region::London, Region::SaoPaulo, Region::Zurich];
 
     pub fn name(&self) -> &'static str {
         match self {

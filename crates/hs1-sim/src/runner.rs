@@ -22,12 +22,25 @@ const RESPONSE_BYTES_PER_TX: usize = 96;
 #[derive(Clone)]
 enum Ev {
     /// Message bytes arrived at `to`; it now queues for CPU.
-    Deliver { from: ReplicaId, to: ReplicaId, msg: Message },
+    Deliver {
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: Message,
+    },
     /// CPU processing finished; invoke the engine.
-    Handle { from: ReplicaId, to: ReplicaId, msg: Message },
-    Timer { at: ReplicaId, timer: Timer },
+    Handle {
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: Message,
+    },
+    Timer {
+        at: ReplicaId,
+        timer: Timer,
+    },
     /// A client request lands in the shared mempool.
-    Submit { tx: Transaction },
+    Submit {
+        tx: Transaction,
+    },
 }
 
 /// Aggregated counters produced by a run.
@@ -242,7 +255,8 @@ impl SimRunner {
                     }
                 }
                 Action::SetTimer { timer, at } => {
-                    let at = if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
+                    let at =
+                        if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
                     self.push(at, Ev::Timer { at: from, timer });
                 }
                 Action::Executed { block, kind, .. } => self.on_executed(from, block, kind),
@@ -294,7 +308,7 @@ impl SimRunner {
             let client = tx.id.client;
             self.issue_tx(client, fin);
         }
-        if self.stats.finalized_txs % 4096 == 0 {
+        if self.stats.finalized_txs.is_multiple_of(4096) {
             self.oracle.gc();
         }
     }
@@ -344,8 +358,7 @@ impl SimRunner {
     /// Post-run safety checks: committed-prefix agreement across correct
     /// replicas, and every finalized block on the canonical chain.
     fn check_invariants(&mut self) {
-        let chains: Vec<Vec<BlockId>> =
-            self.engines.iter().map(|e| e.committed_chain()).collect();
+        let chains: Vec<Vec<BlockId>> = self.engines.iter().map(|e| e.committed_chain()).collect();
         // "Correct" replicas are those the scenario left honest; the
         // runner does not know fault assignments, so it checks agreement
         // over the longest mutually consistent set: any two chains must be
@@ -385,10 +398,8 @@ impl SimRunner {
     /// Prefix-agreement check restricted to `honest` replica indices
     /// (used by scenarios that know the fault placement).
     pub fn check_prefix_agreement(&mut self, honest: &[usize]) {
-        let chains: Vec<(usize, Vec<BlockId>)> = honest
-            .iter()
-            .map(|&i| (i, self.engines[i].committed_chain()))
-            .collect();
+        let chains: Vec<(usize, Vec<BlockId>)> =
+            honest.iter().map(|&i| (i, self.engines[i].committed_chain())).collect();
         let longest =
             chains.iter().map(|(_, c)| c.clone()).max_by_key(|c| c.len()).unwrap_or_default();
         for (i, c) in &chains {

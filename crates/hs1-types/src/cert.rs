@@ -191,7 +191,13 @@ mod tests {
     use super::*;
     use hs1_crypto::KeyPair;
 
-    fn sign_cert(kind: CertKind, view: View, slot: Slot, block: BlockId, signers: &[u32]) -> Certificate {
+    fn sign_cert(
+        kind: CertKind,
+        view: View,
+        slot: Slot,
+        block: BlockId,
+        signers: &[u32],
+    ) -> Certificate {
         let bytes = Certificate::signing_bytes(kind, view, slot, block);
         let sigs = signers
             .iter()
@@ -229,11 +235,18 @@ mod tests {
         let reg = PublicKeyRegistry::derive(0, 4);
         // Shares signed for NEW_SLOT must not verify as a Quorum cert:
         // dual-certificate separation (§6.1).
-        let bytes = Certificate::signing_bytes(CertKind::NewSlot, View(3), Slot(2), BlockId::test(9));
+        let bytes =
+            Certificate::signing_bytes(CertKind::NewSlot, View(3), Slot(2), BlockId::test(9));
         let sigs: Vec<_> = (0..3)
             .map(|i| (ReplicaId(i), KeyPair::derive(0, i).sign(domains::NEW_SLOT, &bytes)))
             .collect();
-        let forged = Certificate { kind: CertKind::Quorum, view: View(3), slot: Slot(2), block: BlockId::test(9), sigs };
+        let forged = Certificate {
+            kind: CertKind::Quorum,
+            view: View(3),
+            slot: Slot(2),
+            block: BlockId::test(9),
+            sigs,
+        };
         assert!(!forged.verify(&reg, 3));
     }
 

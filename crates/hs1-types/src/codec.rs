@@ -553,20 +553,14 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = View(3).encoded();
         bytes.push(0xff);
-        assert_eq!(
-            View::decode_exact(&bytes),
-            Err(CodecError::TrailingBytes { remaining: 1 })
-        );
+        assert_eq!(View::decode_exact(&bytes), Err(CodecError::TrailingBytes { remaining: 1 }));
     }
 
     #[test]
     fn hostile_length_prefix_rejected() {
         let mut bytes = Vec::new();
         (u64::MAX).encode(&mut bytes); // absurd Vec length
-        assert!(matches!(
-            Vec::<u64>::decode_exact(&bytes),
-            Err(CodecError::LengthOverflow { .. })
-        ));
+        assert!(matches!(Vec::<u64>::decode_exact(&bytes), Err(CodecError::LengthOverflow { .. })));
     }
 
     #[test]

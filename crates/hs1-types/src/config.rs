@@ -119,7 +119,7 @@ impl SystemConfig {
 
     /// `true` if `view` begins a pacemaker epoch (`v mod (f+1) = 0`).
     pub fn is_epoch_start(&self, view: View) -> bool {
-        view.0 % self.epoch_len() == 0
+        view.0.is_multiple_of(self.epoch_len())
     }
 
     /// First view of the epoch containing `view`.

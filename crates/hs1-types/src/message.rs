@@ -161,8 +161,7 @@ impl Message {
             Message::Request(tx) => tx.modeled_wire_size(),
             Message::Response(_) => 96,
             Message::Propose(p) => {
-                p.block.modeled_wire_size()
-                    + p.commit_cert.as_ref().map_or(0, cert_size)
+                p.block.modeled_wire_size() + p.commit_cert.as_ref().map_or(0, cert_size)
             }
             Message::Vote(_) => 96,
             Message::Prepare(p) => cert_size(&p.cert),
@@ -448,7 +447,12 @@ mod tests {
     }
 
     fn some_vote() -> VoteInfo {
-        VoteInfo { view: View(4), slot: Slot(2), block: BlockId::test(8), share: Signature([5u8; 32]) }
+        VoteInfo {
+            view: View(4),
+            slot: Slot(2),
+            block: BlockId::test(8),
+            share: Signature([5u8; 32]),
+        }
     }
 
     #[test]
@@ -468,7 +472,10 @@ mod tests {
             kind: ReplyKind::Speculative,
             view: View(3),
         }));
-        roundtrip(Message::Propose(ProposeMsg { block: block.clone(), commit_cert: Some(some_cert()) }));
+        roundtrip(Message::Propose(ProposeMsg {
+            block: block.clone(),
+            commit_cert: Some(some_cert()),
+        }));
         roundtrip(Message::Propose(ProposeMsg { block: block.clone(), commit_cert: None }));
         roundtrip(Message::Vote(VoteMsg { vote: some_vote() }));
         roundtrip(Message::Prepare(PrepareMsg { cert: some_cert() }));
@@ -488,7 +495,11 @@ mod tests {
             high_cert: some_cert(),
             vote: some_vote(),
         }));
-        roundtrip(Message::Reject(RejectMsg { view: View(4), slot: Slot(3), high_cert: some_cert() }));
+        roundtrip(Message::Reject(RejectMsg {
+            view: View(4),
+            slot: Slot(3),
+            high_cert: some_cert(),
+        }));
         roundtrip(Message::Wish(WishMsg { view: View(8), share: Signature([1u8; 32]) }));
         roundtrip(Message::Tc(TimeoutCert {
             view: View(8),
@@ -501,7 +512,8 @@ mod tests {
     #[test]
     fn propose_wire_size_dominates() {
         let txs: Vec<_> = (0..1000).map(|i| Transaction::kv_write(1, i, i, i)).collect();
-        let block = Arc::new(Block::new(ReplicaId(0), View(1), Slot(1), Certificate::genesis(), txs));
+        let block =
+            Arc::new(Block::new(ReplicaId(0), View(1), Slot(1), Certificate::genesis(), txs));
         let propose = Message::Propose(ProposeMsg { block, commit_cert: None });
         let vote = Message::Vote(VoteMsg { vote: some_vote() });
         assert!(propose.modeled_wire_size() > 50 * vote.modeled_wire_size());

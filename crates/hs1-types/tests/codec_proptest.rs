@@ -1,5 +1,9 @@
 //! Property tests: every message round-trips through the wire codec, and
 //! the decoder never panics on arbitrary bytes.
+//!
+//! Randomization is driven by the in-repo deterministic [`SplitMix64`]
+//! (no external proptest dependency): each property runs a fixed number of
+//! seeded cases, so failures reproduce exactly from the printed seed.
 
 use std::sync::Arc;
 
@@ -12,165 +16,239 @@ use hs1_types::message::{
     Message, NewSlotMsg, NewViewMsg, PrepareMsg, ProposeMsg, RejectMsg, ReplyKind, ResponseMsg,
     VoteInfo, VoteMsg, WishMsg,
 };
+use hs1_types::rng::SplitMix64;
 use hs1_types::tx::{Transaction, TxId, TxOp};
-use proptest::prelude::*;
 
-fn arb_digest() -> impl Strategy<Value = Digest> {
-    any::<[u8; 32]>().prop_map(Digest)
+const CASES: u64 = 256;
+
+fn arb_bytes32(r: &mut SplitMix64) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_mut(8) {
+        chunk.copy_from_slice(&r.next_u64().to_le_bytes()[..chunk.len()]);
+    }
+    out
 }
 
-fn arb_sig() -> impl Strategy<Value = Signature> {
-    any::<[u8; 32]>().prop_map(Signature)
+fn arb_digest(r: &mut SplitMix64) -> Digest {
+    Digest(arb_bytes32(r))
 }
 
-fn arb_block_id() -> impl Strategy<Value = BlockId> {
-    arb_digest().prop_map(BlockId)
+fn arb_sig(r: &mut SplitMix64) -> Signature {
+    Signature(arb_bytes32(r))
 }
 
-fn arb_txop() -> impl Strategy<Value = TxOp> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>()).prop_map(|(key, seed)| TxOp::KvWrite { key, seed }),
-        any::<u64>().prop_map(|key| TxOp::KvRead { key }),
-        (any::<u16>(), any::<u8>(), any::<u16>(), any::<u8>(), any::<u64>()).prop_map(
-            |(warehouse, district, customer, lines, seed)| TxOp::TpccNewOrder {
-                warehouse,
-                district,
-                customer,
-                lines,
-                seed
-            }
-        ),
-        (any::<u16>(), any::<u8>(), any::<u16>(), any::<u32>()).prop_map(
-            |(warehouse, district, customer, amount_cents)| TxOp::TpccPayment {
-                warehouse,
-                district,
-                customer,
-                amount_cents
-            }
-        ),
-        Just(TxOp::Noop),
-    ]
+fn arb_block_id(r: &mut SplitMix64) -> BlockId {
+    BlockId(arb_digest(r))
 }
 
-fn arb_tx() -> impl Strategy<Value = Transaction> {
-    (any::<u32>(), any::<u64>(), arb_txop())
-        .prop_map(|(c, s, op)| Transaction::new(TxId::new(ClientId(c), s), op))
+fn arb_txop(r: &mut SplitMix64) -> TxOp {
+    match r.next_range(5) {
+        0 => TxOp::KvWrite { key: r.next_u64(), seed: r.next_u64() },
+        1 => TxOp::KvRead { key: r.next_u64() },
+        2 => TxOp::TpccNewOrder {
+            warehouse: r.next_u64() as u16,
+            district: r.next_u64() as u8,
+            customer: r.next_u64() as u16,
+            lines: r.next_u64() as u8,
+            seed: r.next_u64(),
+        },
+        3 => TxOp::TpccPayment {
+            warehouse: r.next_u64() as u16,
+            district: r.next_u64() as u8,
+            customer: r.next_u64() as u16,
+            amount_cents: r.next_u64() as u32,
+        },
+        _ => TxOp::Noop,
+    }
 }
 
-fn arb_cert_kind() -> impl Strategy<Value = CertKind> {
-    prop_oneof![
-        Just(CertKind::Quorum),
-        Just(CertKind::Commit),
-        Just(CertKind::NewSlot),
-        any::<u64>().prop_map(|v| CertKind::NewView { formed_in: View(v) }),
-    ]
+fn arb_tx(r: &mut SplitMix64) -> Transaction {
+    let client = ClientId(r.next_u64() as u32);
+    let seq = r.next_u64();
+    let op = arb_txop(r);
+    Transaction::new(TxId::new(client, seq), op)
 }
 
-fn arb_cert() -> impl Strategy<Value = Certificate> {
-    (
-        arb_cert_kind(),
-        any::<u64>(),
-        any::<u32>(),
-        arb_block_id(),
-        prop::collection::vec((any::<u32>().prop_map(ReplicaId), arb_sig()), 0..5),
-    )
-        .prop_map(|(kind, view, slot, block, sigs)| Certificate {
-            kind,
-            view: View(view),
-            slot: Slot(slot),
-            block,
-            sigs,
-        })
+fn arb_cert_kind(r: &mut SplitMix64) -> CertKind {
+    match r.next_range(4) {
+        0 => CertKind::Quorum,
+        1 => CertKind::Commit,
+        2 => CertKind::NewSlot,
+        _ => CertKind::NewView { formed_in: View(r.next_u64()) },
+    }
 }
 
-fn arb_block() -> impl Strategy<Value = Arc<Block>> {
-    (
-        any::<u32>(),
-        any::<u64>(),
-        any::<u32>(),
-        arb_cert(),
-        prop::option::of(arb_block_id()),
-        prop::collection::vec(arb_tx(), 0..8),
-    )
-        .prop_map(|(p, v, s, justify, carry, txs)| {
-            Arc::new(match carry {
-                Some(c) => Block::new_with_carry(ReplicaId(p), View(v), Slot(s), justify, c, txs),
-                None => Block::new(ReplicaId(p), View(v), Slot(s), justify, txs),
-            })
-        })
+fn arb_sigs(r: &mut SplitMix64, max: u64) -> Vec<(ReplicaId, Signature)> {
+    (0..r.next_range(max)).map(|_| (ReplicaId(r.next_u64() as u32), arb_sig(r))).collect()
 }
 
-fn arb_vote() -> impl Strategy<Value = VoteInfo> {
-    (any::<u64>(), any::<u32>(), arb_block_id(), arb_sig()).prop_map(|(v, s, b, sig)| VoteInfo {
-        view: View(v),
-        slot: Slot(s),
-        block: b,
-        share: sig,
+fn arb_cert(r: &mut SplitMix64) -> Certificate {
+    Certificate {
+        kind: arb_cert_kind(r),
+        view: View(r.next_u64()),
+        slot: Slot(r.next_u64() as u32),
+        block: arb_block_id(r),
+        sigs: arb_sigs(r, 5),
+    }
+}
+
+fn arb_block(r: &mut SplitMix64) -> Arc<Block> {
+    let proposer = ReplicaId(r.next_u64() as u32);
+    let view = View(r.next_u64());
+    let slot = Slot(r.next_u64() as u32);
+    let justify = arb_cert(r);
+    let carry = if r.chance(0.5) { Some(arb_block_id(r)) } else { None };
+    let txs: Vec<Transaction> = (0..r.next_range(8)).map(|_| arb_tx(r)).collect();
+    Arc::new(match carry {
+        Some(c) => Block::new_with_carry(proposer, view, slot, justify, c, txs),
+        None => Block::new(proposer, view, slot, justify, txs),
     })
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        arb_tx().prop_map(Message::Request),
-        (arb_tx(), arb_block_id(), arb_digest(), any::<bool>(), any::<u64>()).prop_map(
-            |(tx, block, result, spec, view)| Message::Response(ResponseMsg {
-                tx: tx.id,
-                block,
-                result,
-                kind: if spec { ReplyKind::Speculative } else { ReplyKind::Committed },
-                view: View(view),
-            })
-        ),
-        (arb_block(), prop::option::of(arb_cert()))
-            .prop_map(|(block, commit_cert)| Message::Propose(ProposeMsg { block, commit_cert })),
-        arb_vote().prop_map(|vote| Message::Vote(VoteMsg { vote })),
-        arb_cert().prop_map(|cert| Message::Prepare(PrepareMsg { cert })),
-        (any::<u64>(), arb_cert(), prop::option::of(arb_vote())).prop_map(
-            |(dv, high_cert, vote)| Message::NewView(NewViewMsg {
-                dest_view: View(dv),
-                high_cert,
-                vote
-            })
-        ),
-        (any::<u64>(), any::<u32>(), arb_cert(), arb_vote()).prop_map(|(v, s, high_cert, vote)| {
-            Message::NewSlot(NewSlotMsg { view: View(v), slot: Slot(s), high_cert, vote })
-        }),
-        (any::<u64>(), any::<u32>(), arb_cert()).prop_map(|(v, s, high_cert)| {
-            Message::Reject(RejectMsg { view: View(v), slot: Slot(s), high_cert })
-        }),
-        (any::<u64>(), arb_sig())
-            .prop_map(|(v, share)| Message::Wish(WishMsg { view: View(v), share })),
-        (any::<u64>(), prop::collection::vec((any::<u32>().prop_map(ReplicaId), arb_sig()), 0..4))
-            .prop_map(|(v, sigs)| Message::Tc(TimeoutCert { view: View(v), sigs })),
-        arb_block_id().prop_map(|id| Message::FetchBlock { id }),
-        arb_block().prop_map(|block| Message::FetchResp { block }),
-    ]
+fn arb_vote(r: &mut SplitMix64) -> VoteInfo {
+    VoteInfo {
+        view: View(r.next_u64()),
+        slot: Slot(r.next_u64() as u32),
+        block: arb_block_id(r),
+        share: arb_sig(r),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn message_roundtrip(msg in arb_message()) {
-        let bytes = msg.encoded();
-        let back = Message::decode_exact(&bytes).expect("well-formed encoding must decode");
-        prop_assert_eq!(back, msg);
+fn arb_response(r: &mut SplitMix64) -> ResponseMsg {
+    ResponseMsg {
+        tx: arb_tx(r).id,
+        block: arb_block_id(r),
+        result: arb_digest(r),
+        kind: if r.chance(0.5) { ReplyKind::Speculative } else { ReplyKind::Committed },
+        view: View(r.next_u64()),
     }
+}
 
-    #[test]
-    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        // Hostile input: decoding may fail, but must not panic.
+/// One random message of variant index `variant` (0..12), so sweeping the
+/// variant index guarantees coverage of every arm of [`Message`].
+fn arb_message_of(variant: u64, r: &mut SplitMix64) -> Message {
+    match variant {
+        0 => Message::Request(arb_tx(r)),
+        1 => Message::Response(arb_response(r)),
+        2 => Message::Propose(ProposeMsg {
+            block: arb_block(r),
+            commit_cert: if r.chance(0.5) { Some(arb_cert(r)) } else { None },
+        }),
+        3 => Message::Vote(VoteMsg { vote: arb_vote(r) }),
+        4 => Message::Prepare(PrepareMsg { cert: arb_cert(r) }),
+        5 => Message::NewView(NewViewMsg {
+            dest_view: View(r.next_u64()),
+            high_cert: arb_cert(r),
+            vote: if r.chance(0.5) { Some(arb_vote(r)) } else { None },
+        }),
+        6 => Message::NewSlot(NewSlotMsg {
+            view: View(r.next_u64()),
+            slot: Slot(r.next_u64() as u32),
+            high_cert: arb_cert(r),
+            vote: arb_vote(r),
+        }),
+        7 => Message::Reject(RejectMsg {
+            view: View(r.next_u64()),
+            slot: Slot(r.next_u64() as u32),
+            high_cert: arb_cert(r),
+        }),
+        8 => Message::Wish(WishMsg { view: View(r.next_u64()), share: arb_sig(r) }),
+        9 => Message::Tc(TimeoutCert { view: View(r.next_u64()), sigs: arb_sigs(r, 4) }),
+        10 => Message::FetchBlock { id: arb_block_id(r) },
+        _ => Message::FetchResp { block: arb_block(r) },
+    }
+}
+
+const VARIANTS: u64 = 12;
+
+fn arb_message(r: &mut SplitMix64) -> Message {
+    let v = r.next_range(VARIANTS);
+    arb_message_of(v, r)
+}
+
+#[test]
+fn message_roundtrip() {
+    for seed in 0..CASES {
+        let mut r = SplitMix64::new(seed);
+        let msg = arb_message(&mut r);
+        let bytes = msg.encoded();
+        let back = Message::decode_exact(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed}: well-formed encoding must decode: {e:?}"));
+        assert_eq!(back, msg, "seed {seed}");
+    }
+}
+
+#[test]
+fn every_message_variant_roundtrips() {
+    // Exhaustive over variants × seeds, so a codec bug in any single arm
+    // cannot hide behind the uniform variant chooser above.
+    for variant in 0..VARIANTS {
+        for seed in 0..64u64 {
+            let mut r = SplitMix64::new(seed * VARIANTS + variant);
+            let msg = arb_message_of(variant, &mut r);
+            let name = msg.kind_name();
+            let bytes = msg.encoded();
+            let back = Message::decode_exact(&bytes)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: must decode: {e:?}"));
+            assert_eq!(back, msg, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn decoder_never_panics() {
+    // Hostile input: decoding may fail, but must not panic.
+    for seed in 0..CASES {
+        let mut r = SplitMix64::new(seed);
+        let len = r.next_range(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_u64() as u8).collect();
         let _ = Message::decode_exact(&bytes);
     }
+}
 
-    #[test]
-    fn block_id_deterministic(block in arb_block()) {
-        let again = Block::decode_exact(&block.encoded()).expect("decode");
-        prop_assert_eq!(again.id(), block.id());
+#[test]
+fn decoder_never_panics_on_truncations() {
+    // Every prefix of a valid encoding must fail cleanly, not panic.
+    for seed in 0..32u64 {
+        let mut r = SplitMix64::new(seed);
+        let bytes = arb_message(&mut r).encoded();
+        for cut in 0..bytes.len() {
+            let _ = Message::decode_exact(&bytes[..cut]);
+        }
     }
+}
 
-    #[test]
-    fn encoding_is_injective_on_views(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(View(a).encoded() == View(b).encoded(), a == b);
+#[test]
+fn decoder_never_panics_on_bitflips() {
+    // Single-bit corruptions of valid encodings must not panic (they may
+    // decode to a different valid message; the codec carries no checksum).
+    for seed in 0..16u64 {
+        let mut r = SplitMix64::new(seed);
+        let bytes = arb_message(&mut r).encoded();
+        for i in 0..bytes.len().min(256) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << r.next_range(8);
+            let _ = Message::decode_exact(&corrupt);
+        }
+    }
+}
+
+#[test]
+fn block_id_deterministic() {
+    for seed in 0..CASES {
+        let mut r = SplitMix64::new(seed);
+        let block = arb_block(&mut r);
+        let again = Block::decode_exact(&block.encoded()).expect("decode");
+        assert_eq!(again.id(), block.id(), "seed {seed}");
+    }
+}
+
+#[test]
+fn encoding_is_injective_on_views() {
+    let mut r = SplitMix64::new(0xbeef);
+    for _ in 0..CASES {
+        let (a, b) = (r.next_u64(), r.next_u64());
+        assert_eq!(View(a).encoded() == View(b).encoded(), a == b);
+        assert_eq!(View(a).encoded(), View(a).encoded());
     }
 }

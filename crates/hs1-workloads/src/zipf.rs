@@ -27,7 +27,7 @@ impl Zipfian {
         let zeta2theta = Self::zeta_exact(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2theta: zeta2theta }
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
     }
 
     /// YCSB default skew.

@@ -34,10 +34,14 @@ fn main() {
 
     println!("Leader slowness (D6): rational leaders propose at the view deadline");
     let (base, _) = run(ProtocolKind::HotStuff1, None, "HotStuff-1, no attack");
-    let (slow, _) = run(ProtocolKind::HotStuff1, Some(Fault::SlowLeader), "HotStuff-1, 2 slow leaders");
+    let (slow, _) =
+        run(ProtocolKind::HotStuff1, Some(Fault::SlowLeader), "HotStuff-1, 2 slow leaders");
     let (sbase, _) = run(ProtocolKind::HotStuff1Slotted, None, "HotStuff-1(slotting), no attack");
-    let (sslow, _) =
-        run(ProtocolKind::HotStuff1Slotted, Some(Fault::SlowLeader), "HotStuff-1(slotting), 2 slow");
+    let (sslow, _) = run(
+        ProtocolKind::HotStuff1Slotted,
+        Some(Fault::SlowLeader),
+        "HotStuff-1(slotting), 2 slow",
+    );
     println!(
         "  -> throughput kept: {:.0}% without slotting vs {:.0}% with slotting\n",
         100.0 * slow / base,

@@ -45,9 +45,7 @@ fn main() {
     let f = SystemConfig::new(n).f();
     let mut client = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
         .expect("connect");
-    let samples = client
-        .run_closed_loop(Duration::from_secs(run_secs - 1))
-        .expect("client loop");
+    let samples = client.run_closed_loop(Duration::from_secs(run_secs - 1)).expect("client loop");
 
     let committed: Vec<u64> = handles.into_iter().map(|h| h.join().expect("replica")).collect();
     println!("blocks committed per replica: {committed:?}");

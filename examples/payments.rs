@@ -10,10 +10,7 @@ use hotstuff1::sim::{ProtocolKind, Scenario, WorkloadKind};
 
 fn main() {
     println!("Payment platform: 16 replicas, TPC-C NewOrder/Payment mix, batch 200\n");
-    println!(
-        "{:<24} {:>12} {:>12} {:>12}",
-        "protocol", "tx/s", "mean ms", "p99 ms"
-    );
+    println!("{:<24} {:>12} {:>12} {:>12}", "protocol", "tx/s", "mean ms", "p99 ms");
     let mut rows = Vec::new();
     for p in ProtocolKind::EVALUATED {
         let r = Scenario::new(p)

@@ -8,17 +8,20 @@
 use hotstuff1::sim::{ProtocolKind, Scenario};
 
 fn main() {
-    println!("HotStuff-1 quickstart: 4 replicas, YCSB, batch 16, 1 simulated second\n");
+    println!("HotStuff-1 quickstart: 4 replicas, YCSB, batch 32, 1 simulated second\n");
     let report = Scenario::new(ProtocolKind::HotStuff1)
         .replicas(4)
-        .batch_size(16)
+        .batch_size(32)
         .clients(64)
         .sim_seconds(1.0)
         .warmup_seconds(0.25)
         .run();
 
     println!("  throughput        : {:>10.0} tx/s", report.throughput_tps);
-    println!("  mean latency      : {:>10.2} ms (early finality confirmations)", report.mean_latency_ms);
+    println!(
+        "  mean latency      : {:>10.2} ms (early finality confirmations)",
+        report.mean_latency_ms
+    );
     println!("  p99 latency       : {:>10.2} ms", report.p99_latency_ms);
     println!("  blocks committed  : {:>10}", report.committed_blocks);
     println!("  rollbacks         : {:>10}", report.rollbacks);
@@ -28,7 +31,7 @@ fn main() {
     // Compare against the HotStuff-2 baseline on the same deployment.
     let baseline = Scenario::new(ProtocolKind::HotStuff2)
         .replicas(4)
-        .batch_size(16)
+        .batch_size(32)
         .clients(64)
         .sim_seconds(1.0)
         .warmup_seconds(0.25)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-run every example under `cargo run --example` and fail on the
+# first non-zero exit. Used locally and by the CI `examples` job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROFILE_FLAG="${1:---release}"
+
+examples=()
+for f in examples/*.rs; do
+    examples+=("$(basename "$f" .rs)")
+done
+
+if [ "${#examples[@]}" -eq 0 ]; then
+    echo "no examples found under examples/" >&2
+    exit 1
+fi
+
+echo "checking ${#examples[@]} examples: ${examples[*]}"
+for ex in "${examples[@]}"; do
+    echo "::group::example $ex"
+    cargo run "$PROFILE_FLAG" -q --example "$ex"
+    echo "::endgroup::"
+done
+
+echo "all ${#examples[@]} examples ran cleanly"

@@ -104,10 +104,7 @@ fn tail_fork_hurts_chained_more_than_slotted() {
         .warmup_seconds(0.3)
         .run();
     assert!(r_ok(&chained) && r_ok(&chained_clean));
-    assert!(
-        chained.orphaned_blocks > 0,
-        "tail-forking orphans blocks in the chained protocol"
-    );
+    assert!(chained.orphaned_blocks > 0, "tail-forking orphans blocks in the chained protocol");
     assert!(chained.throughput_tps < chained_clean.throughput_tps);
 }
 

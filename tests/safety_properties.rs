@@ -1,38 +1,36 @@
 //! Property-based safety tests: randomized fault and delay schedules must
 //! never produce committed-chain divergence or unsound client finality.
+//!
+//! Randomization flows through the in-repo deterministic [`SplitMix64`]
+//! (no external proptest dependency); each case derives from a printed
+//! seed so failures replay exactly.
 
 use hotstuff1::consensus::Fault;
 use hotstuff1::sim::{ProtocolKind, Scenario};
-use hotstuff1::types::{ReplicaId, SimDuration};
-use proptest::prelude::*;
+use hotstuff1::types::{ReplicaId, SimDuration, SplitMix64};
 
-fn arb_fault(n: usize) -> impl Strategy<Value = Fault> {
-    prop_oneof![
-        Just(Fault::Honest),
-        (1u64..10).prop_map(|v| Fault::Crash { after_view: v }),
-        Just(Fault::SlowLeader),
-        Just(Fault::TailFork),
-        Just(Fault::Silent),
-        (0..n as u32).prop_map(|v| Fault::RollbackAttack { victims: vec![ReplicaId(v)] }),
-    ]
+fn arb_fault(r: &mut SplitMix64, n: usize) -> Fault {
+    match r.next_range(6) {
+        0 => Fault::Honest,
+        1 => Fault::Crash { after_view: 1 + r.next_range(9) },
+        2 => Fault::SlowLeader,
+        3 => Fault::TailFork,
+        4 => Fault::Silent,
+        _ => Fault::RollbackAttack { victims: vec![ReplicaId(r.next_range(n as u64) as u32)] },
+    }
 }
 
-proptest! {
+#[test]
+fn safety_under_random_single_fault() {
     // Each case runs a full simulation; keep the count modest.
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn safety_under_random_single_fault(
-        seed in 0u64..1000,
-        fault in arb_fault(7),
-        protocol_idx in 0usize..3,
-        delay_ms in 0u64..8,
-    ) {
-        let protocol = [
-            ProtocolKind::HotStuff1,
-            ProtocolKind::HotStuff2,
-            ProtocolKind::HotStuff1Slotted,
-        ][protocol_idx];
+    for case in 0u64..12 {
+        let mut r = SplitMix64::new(0x5afe_0001 + case);
+        let seed = r.next_range(1000);
+        let fault = arb_fault(&mut r, 7);
+        let protocol =
+            [ProtocolKind::HotStuff1, ProtocolKind::HotStuff2, ProtocolKind::HotStuff1Slotted]
+                [r.next_range(3) as usize];
+        let delay_ms = r.next_range(8);
         let mut s = Scenario::new(protocol)
             .replicas(7)
             .batch_size(16)
@@ -41,24 +39,31 @@ proptest! {
             .view_timer(SimDuration::from_millis(20))
             .sim_seconds(0.5)
             .warmup_seconds(0.1)
-            .with_fault(1, fault);
+            .with_fault(1, fault.clone());
         if delay_ms > 0 {
             s = s.inject_delay(2, SimDuration::from_millis(delay_ms));
         }
-        let r = s.run();
+        let report = s.run();
         // Safety must hold under every schedule; liveness is only
         // guaranteed for honest-majority configurations (always true
         // here: one faulty of seven).
-        prop_assert!(r.invariants_ok(), "violations: {:?}", r.invariant_violations);
+        assert!(
+            report.invariants_ok(),
+            "case {case} ({protocol:?}, {fault:?}, delay {delay_ms}ms, seed {seed}): \
+             violations: {:?}",
+            report.invariant_violations
+        );
     }
+}
 
-    #[test]
-    fn two_faults_of_seven_stay_safe(
-        seed in 0u64..1000,
-        fa in arb_fault(7),
-        fb in arb_fault(7),
-    ) {
-        let r = Scenario::new(ProtocolKind::HotStuff1)
+#[test]
+fn two_faults_of_seven_stay_safe() {
+    for case in 0u64..12 {
+        let mut r = SplitMix64::new(0x5afe_0002 + case);
+        let seed = r.next_range(1000);
+        let fa = arb_fault(&mut r, 7);
+        let fb = arb_fault(&mut r, 7);
+        let report = Scenario::new(ProtocolKind::HotStuff1)
             .replicas(7)
             .batch_size(16)
             .clients(64)
@@ -66,9 +71,13 @@ proptest! {
             .view_timer(SimDuration::from_millis(20))
             .sim_seconds(0.5)
             .warmup_seconds(0.1)
-            .with_fault(1, fa)
-            .with_fault(4, fb)
+            .with_fault(1, fa.clone())
+            .with_fault(4, fb.clone())
             .run();
-        prop_assert!(r.invariants_ok(), "violations: {:?}", r.invariant_violations);
+        assert!(
+            report.invariants_ok(),
+            "case {case} ({fa:?} + {fb:?}, seed {seed}): violations: {:?}",
+            report.invariant_violations
+        );
     }
 }

@@ -1,20 +1,93 @@
-//! TCP smoke test: the same engines the simulator runs, over real
-//! loopback sockets with real signatures — a 4-replica HotStuff-1
-//! deployment plus one closed-loop client, all in-process.
+//! TCP smoke tests: the same engines the simulator runs, over real
+//! loopback sockets with real signatures.
+//!
+//! CI-robustness rules: loopback only, base ports allocated dynamically
+//! (never hard-coded), every receive bounded by a timeout. The full
+//! 4-replica closed-loop deployment needs multi-second wall-clock runs,
+//! so it is `#[ignore]`-gated; run it with `cargo test -- --ignored`.
 
+use std::net::TcpListener;
 use std::time::Duration;
 
 use hotstuff1::consensus::{build_replica, Fault};
 use hotstuff1::ledger::ExecConfig;
 use hotstuff1::net::client_driver::ClientDriver;
-use hotstuff1::net::mesh::Mesh;
+use hotstuff1::net::mesh::{Inbound, Mesh};
 use hotstuff1::net::node::NodeRunner;
-use hotstuff1::types::{ClientId, ProtocolKind, ReplicaId, SimDuration, SystemConfig};
+use hotstuff1::types::{
+    ClientId, Message, ProtocolKind, ReplicaId, SimDuration, SystemConfig, Transaction,
+};
 
+/// Reserve a contiguous run of `n` free loopback ports and return the base.
+///
+/// Binds an ephemeral port to get an OS-chosen base, then probes that the
+/// rest of the range is free; retries with a fresh base on collision.
+fn free_base_port(n: u16) -> u16 {
+    for _ in 0..32 {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let base = probe.local_addr().expect("addr").port();
+        drop(probe);
+        if base.checked_add(n).is_none() {
+            continue;
+        }
+        let all_free = (0..n).all(|i| TcpListener::bind(("127.0.0.1", base + i)).map(drop).is_ok());
+        if all_free {
+            return base;
+        }
+    }
+    panic!("could not find {n} contiguous free loopback ports");
+}
+
+/// Mesh-level smoke: two replicas connect lazily over real sockets and
+/// deliver framed messages both ways. No wall-clock sleeps — every wait is
+/// a bounded `recv_timeout`.
 #[test]
+fn mesh_delivers_messages_between_replicas() {
+    let n = 2;
+    let base_port = free_base_port(n as u16);
+    let mesh0 = Mesh::start(ReplicaId(0), n, "127.0.0.1", base_port).expect("bind replica 0");
+    let mesh1 = Mesh::start(ReplicaId(1), n, "127.0.0.1", base_port).expect("bind replica 1");
+
+    let ping = Message::Request(Transaction::kv_write(1, 1, 42, 7));
+    mesh0.send_replica(ReplicaId(1), ping.clone());
+    match mesh1.inbox.recv_timeout(Duration::from_secs(5)) {
+        Ok(Inbound::FromReplica(from, msg)) => {
+            assert_eq!(from, ReplicaId(0));
+            assert_eq!(msg, ping);
+        }
+        other => panic!("expected ping from replica 0, got {:?}", other.map(|_| "wrong kind")),
+    }
+
+    // Reverse direction uses a fresh connection (lazy connect on send).
+    let pong = Message::Request(Transaction::kv_write(2, 2, 43, 8));
+    mesh1.send_replica(ReplicaId(0), pong.clone());
+    match mesh0.inbox.recv_timeout(Duration::from_secs(5)) {
+        Ok(Inbound::FromReplica(from, msg)) => {
+            assert_eq!(from, ReplicaId(1));
+            assert_eq!(msg, pong);
+        }
+        other => panic!("expected pong from replica 1, got {:?}", other.map(|_| "wrong kind")),
+    }
+
+    // Self-send loops back through the inbox without touching the network.
+    mesh0.send_replica(ReplicaId(0), ping.clone());
+    match mesh0.inbox.recv_timeout(Duration::from_secs(5)) {
+        Ok(Inbound::FromReplica(from, msg)) => {
+            assert_eq!(from, ReplicaId(0));
+            assert_eq!(msg, ping);
+        }
+        other => panic!("expected self-delivery, got {:?}", other.map(|_| "wrong kind")),
+    }
+}
+
+/// Full deployment: 4 replicas plus one closed-loop client, all
+/// in-process. Needs ~3 s of real wall-clock per run, hence ignored by
+/// default; CI exercises it in a dedicated `--ignored` step.
+#[test]
+#[ignore = "multi-second wall-clock run; execute with cargo test -- --ignored"]
 fn four_replicas_and_a_client_over_tcp() {
     let n = 4;
-    let base_port = 47310u16;
+    let base_port = free_base_port(n as u16);
     let protocol = ProtocolKind::HotStuff1;
     let run = Duration::from_secs(3);
 
@@ -25,13 +98,8 @@ fn four_replicas_and_a_client_over_tcp() {
             cfg.view_timer = SimDuration::from_millis(150);
             cfg.delta = SimDuration::from_millis(15);
             cfg.batch_size = 16;
-            let engine = build_replica(
-                protocol,
-                cfg,
-                ReplicaId(id),
-                Fault::Honest,
-                ExecConfig::default(),
-            );
+            let engine =
+                build_replica(protocol, cfg, ReplicaId(id), Fault::Honest, ExecConfig::default());
             let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
             let mut runner = NodeRunner::new(engine, mesh);
             runner.run_for(run);
@@ -41,15 +109,11 @@ fn four_replicas_and_a_client_over_tcp() {
 
     std::thread::sleep(Duration::from_millis(300));
     let f = SystemConfig::new(n).f();
-    let mut client =
-        ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
-            .expect("connect");
+    let mut client = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
+        .expect("connect");
     let samples = client.run_closed_loop(run - Duration::from_millis(700)).expect("client");
 
     let committed: Vec<u64> = handles.into_iter().map(|h| h.join().expect("replica")).collect();
-    assert!(
-        committed.iter().all(|&c| c > 0),
-        "every replica commits over TCP: {committed:?}"
-    );
+    assert!(committed.iter().all(|&c| c > 0), "every replica commits over TCP: {committed:?}");
     assert!(!samples.is_empty(), "client reached early finality over TCP");
 }
