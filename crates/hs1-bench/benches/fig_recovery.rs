@@ -1,0 +1,160 @@
+//! Recovery-time bench: wall-clock cost of `hs1_storage::recover` plus
+//! engine restore, as a function of journal length, with and without a
+//! checkpoint covering most of it.
+//!
+//! Not a paper figure — it characterizes the new `hs1-storage` subsystem
+//! (ISSUE 2): journal-only recovery re-executes every committed block, so
+//! it grows linearly with history; checkpoints bound the replayed tail,
+//! and once segment pruning discards the covered prefix the decode cost
+//! drops too (visible as the widening gap at longer journals). CSV lands
+//! in `bench_results/fig_recovery.csv`.
+//!
+//! `HS1_BENCH_RECOVERY_BLOCKS` overrides the sweep (comma-separated).
+
+use std::fs;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hs1_core::byzantine::Fault;
+use hs1_core::chained::{ChainDepth, ChainedEngine};
+use hs1_core::common::LocalMempool;
+use hs1_core::persist::Persistence;
+use hs1_core::Replica;
+use hs1_ledger::ExecConfig;
+use hs1_storage::testutil::TempDir;
+use hs1_storage::{ReplicaStorage, StorageConfig, SyncPolicy};
+use hs1_types::{Block, CertKind, Certificate, ReplicaId, Slot, SystemConfig, Transaction, View};
+
+const TXS_PER_BLOCK: u64 = 8;
+
+fn sweep() -> Vec<u64> {
+    std::env::var("HS1_BENCH_RECOVERY_BLOCKS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![256, 1024, 4096, 16384])
+}
+
+/// Deterministic committed chain of `len` blocks, `TXS_PER_BLOCK` txs
+/// each.
+fn chain(len: u64) -> Vec<Arc<Block>> {
+    let mut out = Vec::with_capacity(len as usize);
+    let mut parent = Block::genesis();
+    for v in 1..=len {
+        let justify = Certificate {
+            kind: CertKind::Quorum,
+            view: parent.view,
+            slot: if parent.is_genesis() { Slot::GENESIS } else { Slot(1) },
+            block: parent.id(),
+            sigs: vec![],
+        };
+        let txs: Vec<Transaction> = (0..TXS_PER_BLOCK)
+            .map(|i| Transaction::kv_write(1, v * TXS_PER_BLOCK + i, (v * 13 + i) % 100_000, v))
+            .collect();
+        let b = Arc::new(Block::new(ReplicaId(0), View(v), Slot(1), justify, txs));
+        parent = b.clone();
+        out.push(b);
+    }
+    out
+}
+
+/// Journal `blocks` commits into `dir`; checkpoint every `ckpt_every`
+/// commits when nonzero. Returns the reference state root.
+fn build_journal(
+    dir: &std::path::Path,
+    blocks: &[Arc<Block>],
+    ckpt_every: u64,
+) -> hs1_crypto::Digest {
+    let cfg = StorageConfig {
+        segment_bytes: 4 << 20,
+        sync: SyncPolicy::EveryN(256),
+        checkpoint_every: ckpt_every,
+    };
+    let (_, mut storage) = ReplicaStorage::open(dir, cfg).expect("open");
+    let mut exec = hs1_ledger::ExecutionEngine::new(ExecConfig::default());
+    let mut chain_ids = vec![Block::genesis_id()];
+    for (i, b) in blocks.iter().enumerate() {
+        storage.on_view(View(i as u64 + 1));
+        storage.on_speculate(b);
+        storage.on_commit(b);
+        exec.execute_committed(b.id(), &b.txs);
+        chain_ids.push(b.id());
+        if storage.wants_checkpoint() {
+            storage.write_checkpoint(exec.store().committed_store(), &chain_ids);
+        }
+    }
+    storage.sync();
+    exec.store().committed_store().state_root()
+}
+
+/// Time a full recovery (journal/checkpoint load + engine restore).
+fn recover_once(dir: &std::path::Path, expect_root: hs1_crypto::Digest) -> (f64, u64, u64) {
+    let cfg = StorageConfig::default();
+    let t0 = Instant::now();
+    let (state, storage) = ReplicaStorage::open(dir, cfg).expect("recover");
+    let info = storage.recovery_info.clone();
+    let mut engine = ChainedEngine::with_source(
+        SystemConfig::new(4),
+        ReplicaId(0),
+        ChainDepth::Two,
+        true,
+        Fault::Honest,
+        ExecConfig::default(),
+        Box::new(LocalMempool::new()),
+    );
+    engine.restore(state);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(engine.state_root(), expect_root, "recovery must reproduce the state root");
+    (elapsed_ms, info.replayed_records, info.skipped_records)
+}
+
+fn main() {
+    println!("=== fig_recovery: recovery time vs journal length ===");
+    let mut rows =
+        vec!["blocks,txs,mode,recover_ms,replayed_records,checkpoint_covered_records".to_string()];
+    for blocks in sweep() {
+        let chain = chain(blocks);
+
+        // Journal-only recovery: replay (and re-execute) everything.
+        let dir = TempDir::new("figrec-journal");
+        let root = build_journal(dir.path(), &chain, 0);
+        let (ms, replayed, skipped) = recover_once(dir.path(), root);
+        println!(
+            "  [journal-only   ] {blocks:>6} blocks ({:>7} txs): {ms:>9.2} ms  ({replayed} records replayed)",
+            blocks * TXS_PER_BLOCK
+        );
+        rows.push(format!(
+            "{blocks},{},journal,{ms:.3},{replayed},{skipped}",
+            blocks * TXS_PER_BLOCK
+        ));
+
+        // Checkpointed recovery: the newest checkpoint covers ~95% of the
+        // journal; only the tail replays.
+        let dir = TempDir::new("figrec-ckpt");
+        let every = (blocks / 20).max(1);
+        let root = build_journal(dir.path(), &chain, every);
+        let (ms, replayed, skipped) = recover_once(dir.path(), root);
+        println!(
+            "  [checkpoint+tail] {blocks:>6} blocks ({:>7} txs): {ms:>9.2} ms  ({replayed} records replayed, {skipped} covered)",
+            blocks * TXS_PER_BLOCK
+        );
+        rows.push(format!(
+            "{blocks},{},checkpoint,{ms:.3},{replayed},{skipped}",
+            blocks * TXS_PER_BLOCK
+        ));
+    }
+
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    let dir = dir.join("bench_results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join("fig_recovery.csv");
+    if let Ok(mut f) = fs::File::create(&path) {
+        for row in &rows {
+            let _ = writeln!(f, "{row}");
+        }
+        println!("  -> wrote {}", path.display());
+    }
+}

@@ -18,8 +18,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::byzantine::Fault;
-use crate::common::{CoreState, TxSource};
+use crate::common::{CoreState, FetchTracker, TxSource};
 use crate::pacemaker::{Pacemaker, PmOutcome};
+use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
@@ -75,7 +76,7 @@ pub struct BasicEngine {
     nv_buf: HashMap<u64, Vec<(ReplicaId, NewViewMsg)>>,
     /// Commit target stalled on a missing ancestor (retried after fetch).
     retry_commit: Option<(BlockId, ReplicaId)>,
-    fetching: HashSet<BlockId>,
+    fetching: FetchTracker,
 }
 
 impl BasicEngine {
@@ -106,18 +107,35 @@ impl BasicEngine {
             tally: None,
             nv_buf: HashMap::new(),
             retry_commit: None,
-            fetching: HashSet::new(),
+            fetching: FetchTracker::new(),
         }
     }
 
-    /// Commit `target`, fetching missing ancestors from `source`.
-    fn commit_or_fetch(&mut self, target: BlockId, source: ReplicaId, out: &mut Vec<Action>) {
+    /// Commit `target`, fetching missing ancestors from `source`. A fetch
+    /// whose response was lost is re-sent after a view timer, so message
+    /// loss can delay but never deadlock catch-up.
+    fn commit_or_fetch(
+        &mut self,
+        target: BlockId,
+        source: ReplicaId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         if let Err(missing) = self.core.commit_chain(target, out) {
-            if self.fetching.insert(missing) {
+            if self.fetching.should_request(missing, now, self.core.cfg.view_timer) {
                 out.push(Action::Send { to: source, msg: Message::FetchBlock { id: missing } });
             }
             self.retry_commit = Some((target, source));
         }
+    }
+
+    /// Replace `high_cert`, journaling strict rank advances (§4.2
+    /// recovery: the prepared certificate).
+    fn set_high_cert(&mut self, cert: Certificate) {
+        if cert.rank() > self.high_cert.rank() {
+            self.core.persist.on_cert(&cert);
+        }
+        self.high_cert = cert;
     }
 
     fn is_leader(&self) -> bool {
@@ -135,6 +153,7 @@ impl BasicEngine {
 
     fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.awaiting_tc = false;
+        self.core.persist.on_view(self.view);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -274,14 +293,14 @@ impl BasicEngine {
         if let Some(cc) = &msg.commit_cert {
             if cc.kind == CertKind::Commit && cc.verify(&self.core.registry, self.core.cfg.quorum())
             {
-                self.commit_or_fetch(cc.block, b.proposer, out);
+                self.commit_or_fetch(cc.block, b.proposer, now, out);
             }
         }
 
         // Vote to prepare when w ≥ v_lp (Fig. 2 lines 18–20).
         if b.justify.rank() >= self.high_cert.rank() && pv > self.last_voted {
             if b.justify.rank() > self.high_cert.rank() {
-                self.high_cert = b.justify.clone();
+                self.set_high_cert(b.justify.clone());
             }
             self.last_voted = pv;
             let bytes = Certificate::signing_bytes(CertKind::Quorum, pv, Slot::FIRST, b.id());
@@ -344,13 +363,13 @@ impl BasicEngine {
         }
 
         if cert.rank() > self.high_cert.rank() {
-            self.high_cert = cert.clone();
+            self.set_high_cert(cert.clone());
         }
 
         // Prefix commit rule (Fig. 2 lines 22–23, Def. 4.6): P(v) extends
         // P(v−1) ⇒ commit up to B_{v−1}.
         if cert.view.is_successor_of(b.justify.view) && !cert.is_genesis() {
-            self.commit_or_fetch(b.parent, from, out);
+            self.commit_or_fetch(b.parent, from, now, out);
         }
 
         // Speculation (Fig. 2 lines 24–27): Prefix-Speculation rule; the
@@ -380,7 +399,7 @@ impl BasicEngine {
             && self.core.cert_valid(&msg.high_cert)
             && self.core.has_block(msg.high_cert.block)
         {
-            self.high_cert = msg.high_cert.clone();
+            self.set_high_cert(msg.high_cert.clone());
         }
         if msg.dest_view < self.view || self.core.cfg.leader_of(msg.dest_view) != self.core.me {
             return;
@@ -402,7 +421,10 @@ impl Replica for BasicEngine {
         if self.crashed {
             return;
         }
-        self.view = View(1);
+        // A restored replica re-enters at its recovered view.
+        if self.view < View(1) {
+            self.view = View(1);
+        }
         let leader = self.core.cfg.leader_of(self.view);
         out.push(Action::Send {
             to: leader,
@@ -448,10 +470,10 @@ impl Replica for BasicEngine {
                 }
             }
             Message::FetchResp { block } if self.core.cert_valid(&block.justify) => {
-                self.fetching.remove(&block.id());
+                self.fetching.resolved(block.id());
                 self.core.insert_block(block);
                 if let Some((target, source)) = self.retry_commit.take() {
-                    self.commit_or_fetch(target, source, out);
+                    self.commit_or_fetch(target, source, now, out);
                 }
             }
             Message::Request(tx) => self.core.source.offer(tx),
@@ -507,5 +529,28 @@ impl Replica for BasicEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_persistence(&mut self, persist: Box<dyn Persistence>) {
+        self.core.persist = persist;
+    }
+
+    fn restore(&mut self, rs: RecoveredState) {
+        if rs.view > self.view {
+            self.view = rs.view;
+        }
+        // The pre-crash incarnation may have voted up to its last entered
+        // view; never vote there again.
+        self.last_voted = self.last_voted.max(rs.view);
+        if let Some(cert) = &rs.high_cert {
+            if cert.rank() > self.high_cert.rank() {
+                self.high_cert = cert.clone();
+            }
+        }
+        self.core.restore(rs);
+    }
+
+    fn state_root(&self) -> hs1_crypto::Digest {
+        self.core.state_root()
     }
 }

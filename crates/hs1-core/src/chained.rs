@@ -17,8 +17,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::byzantine::Fault;
-use crate::common::{CoreState, TxSource};
+use crate::common::{CoreState, FetchTracker, TxSource};
 use crate::pacemaker::{Pacemaker, PmOutcome};
+use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
@@ -86,7 +87,8 @@ pub struct ChainedEngine {
     pending_certs: Vec<(Certificate, ReplicaId)>,
     /// Proposals parked on a missing justify block.
     pending_props: Vec<(ReplicaId, ProposeMsg)>,
-    fetching: HashSet<BlockId>,
+    /// Outstanding block fetches (re-sent after a view timer on loss).
+    fetching: FetchTracker,
     /// Commit target stalled on a missing ancestor (retried after fetch).
     retry_commit: Option<(BlockId, ReplicaId)>,
 }
@@ -139,7 +141,7 @@ impl ChainedEngine {
             nv_buf: HashMap::new(),
             pending_certs: Vec::new(),
             pending_props: Vec::new(),
-            fetching: HashSet::new(),
+            fetching: FetchTracker::new(),
             retry_commit: None,
         }
     }
@@ -157,10 +159,20 @@ impl ChainedEngine {
         self.crashed
     }
 
+    /// Replace `high_cert`, journaling strict rank advances (the
+    /// prepared-certificate part of §4.2 recovery).
+    fn set_high_cert(&mut self, cert: Certificate) {
+        if cert.rank() > self.high_cert.rank() {
+            self.core.persist.on_cert(&cert);
+        }
+        self.high_cert = cert;
+    }
+
     // -- view lifecycle -----------------------------------------------------
 
     fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.awaiting_tc = false;
+        self.core.persist.on_view(self.view);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -242,7 +254,7 @@ impl ChainedEngine {
         });
         if let Some(cert) = formed {
             if cert.rank() > self.high_cert.rank() && self.core.has_block(cert.block) {
-                self.high_cert = cert;
+                self.set_high_cert(cert);
             }
         }
     }
@@ -391,7 +403,7 @@ impl ChainedEngine {
             return;
         }
         if !self.core.has_block(b.justify.block) {
-            self.request_block(b.justify.block, from, out);
+            self.request_block(b.justify.block, from, now, out);
             self.pending_props.push((from, msg));
             return;
         }
@@ -413,7 +425,7 @@ impl ChainedEngine {
         match self.depth {
             ChainDepth::Two => {
                 if justify.view.is_successor_of(jb.justify.view) && !justify.is_genesis() {
-                    self.commit_or_fetch(jb.parent, proposer, out);
+                    self.commit_or_fetch(jb.parent, proposer, now, out);
                 }
             }
             ChainDepth::Three => {
@@ -422,7 +434,7 @@ impl ChainedEngine {
                         if jb.justify.view.is_successor_of(jb1.justify.view)
                             && !jb.justify.is_genesis()
                         {
-                            self.commit_or_fetch(jb1.parent, proposer, out);
+                            self.commit_or_fetch(jb1.parent, proposer, now, out);
                         }
                     }
                 }
@@ -442,7 +454,7 @@ impl ChainedEngine {
         // replicas vote for any faulty leader's proposal.
         let old_rank = self.high_cert.rank();
         if justify.rank() >= old_rank {
-            self.high_cert = justify.clone();
+            self.set_high_cert(justify.clone());
         }
         let vote_ok = justify.rank() >= old_rank || self.fault.colludes();
         if vote_ok && pv > self.last_voted && !self.crashed {
@@ -463,8 +475,14 @@ impl ChainedEngine {
         }
     }
 
-    fn on_newview(&mut self, from: ReplicaId, msg: NewViewMsg, out: &mut Vec<Action>) {
-        self.adopt_cert(msg.high_cert.clone(), from, out);
+    fn on_newview(
+        &mut self,
+        from: ReplicaId,
+        msg: NewViewMsg,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        self.adopt_cert(msg.high_cert.clone(), from, now, out);
         if msg.dest_view < self.view {
             return;
         }
@@ -478,7 +496,13 @@ impl ChainedEngine {
         }
     }
 
-    fn adopt_cert(&mut self, cert: Certificate, from: ReplicaId, out: &mut Vec<Action>) {
+    fn adopt_cert(
+        &mut self,
+        cert: Certificate,
+        from: ReplicaId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         if cert.rank() <= self.high_cert.rank() {
             return;
         }
@@ -486,15 +510,15 @@ impl ChainedEngine {
             return;
         }
         if self.core.has_block(cert.block) {
-            self.high_cert = cert;
+            self.set_high_cert(cert);
         } else {
-            self.request_block(cert.block, from, out);
+            self.request_block(cert.block, from, now, out);
             self.pending_certs.push((cert, from));
         }
     }
 
-    fn request_block(&mut self, id: BlockId, from: ReplicaId, out: &mut Vec<Action>) {
-        if self.fetching.insert(id) {
+    fn request_block(&mut self, id: BlockId, from: ReplicaId, now: SimTime, out: &mut Vec<Action>) {
+        if self.fetching.should_request(id, now, self.core.cfg.view_timer) {
             out.push(Action::Send { to: from, msg: Message::FetchBlock { id } });
         }
     }
@@ -502,9 +526,15 @@ impl ChainedEngine {
     /// Commit `target`, fetching missing ancestor bodies from `source`
     /// and retrying on arrival (a replica that dropped a late proposal
     /// must not stall its global-ledger permanently).
-    fn commit_or_fetch(&mut self, target: BlockId, source: ReplicaId, out: &mut Vec<Action>) {
+    fn commit_or_fetch(
+        &mut self,
+        target: BlockId,
+        source: ReplicaId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         if let Err(missing) = self.core.commit_chain(target, out) {
-            self.request_block(missing, source, out);
+            self.request_block(missing, source, now, out);
             self.retry_commit = Some((target, source));
         } else if self.retry_commit.map(|(t, _)| self.core.is_committed(t)).unwrap_or(false) {
             self.retry_commit = None;
@@ -517,12 +547,12 @@ impl ChainedEngine {
         if !self.core.cert_valid(&block.justify) {
             return;
         }
-        self.fetching.remove(&block.id());
+        self.fetching.resolved(block.id());
         self.core.insert_block(block.clone());
         // Re-adopt pending certificates now satisfiable.
         let pending = std::mem::take(&mut self.pending_certs);
         for (cert, from) in pending {
-            self.adopt_cert(cert, from, out);
+            self.adopt_cert(cert, from, now, out);
         }
         // Re-run parked proposals.
         let parked = std::mem::take(&mut self.pending_props);
@@ -531,7 +561,7 @@ impl ChainedEngine {
         }
         // Retry a stalled commit (fetching further ancestors if needed).
         if let Some((target, source)) = self.retry_commit.take() {
-            self.commit_or_fetch(target, source, out);
+            self.commit_or_fetch(target, source, now, out);
         }
     }
 }
@@ -546,8 +576,11 @@ impl Replica for ChainedEngine {
             return;
         }
         // Genesis view 0 auto-completes; every replica announces itself to
-        // the leader of view 1 with its (genesis) high certificate.
-        self.view = View(1);
+        // the leader of view 1 with its (genesis) high certificate. A
+        // restored replica re-enters at its recovered view instead.
+        if self.view < View(1) {
+            self.view = View(1);
+        }
         let leader = self.core.cfg.leader_of(self.view);
         out.push(Action::Send {
             to: leader,
@@ -567,7 +600,7 @@ impl Replica for ChainedEngine {
         match msg {
             Message::Propose(m) => self.on_propose(from, m, now, out),
             Message::NewView(m) => {
-                self.on_newview(from, m, out);
+                self.on_newview(from, m, now, out);
                 self.maybe_propose(now, out);
             }
             Message::Wish(m) => {
@@ -654,5 +687,29 @@ impl Replica for ChainedEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_persistence(&mut self, persist: Box<dyn Persistence>) {
+        self.core.persist = persist;
+    }
+
+    fn restore(&mut self, rs: RecoveredState) {
+        if rs.view > self.view {
+            self.view = rs.view;
+        }
+        // Never vote or process proposals at or below the recovered view:
+        // the pre-crash incarnation may already have voted there.
+        self.last_voted = self.last_voted.max(rs.view);
+        self.last_prop = self.last_prop.max(rs.view);
+        if let Some(cert) = &rs.high_cert {
+            if cert.rank() > self.high_cert.rank() {
+                self.high_cert = cert.clone();
+            }
+        }
+        self.core.restore(rs);
+    }
+
+    fn state_root(&self) -> hs1_crypto::Digest {
+        self.core.state_root()
     }
 }

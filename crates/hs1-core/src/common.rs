@@ -5,6 +5,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use crate::persist::{NoopPersistence, Persistence, RecoveredState};
 use crate::replica::Action;
 use hs1_crypto::{KeyPair, PublicKeyRegistry};
 use hs1_ledger::{ExecConfig, ExecutionEngine};
@@ -126,6 +127,43 @@ impl TxSource for LocalMempool {
     }
 }
 
+/// Outstanding block fetches with lost-response retry: a fetch may be
+/// re-sent once `retry_after` has elapsed since its last request, so a
+/// dropped `FetchResp` delays catch-up by one window instead of
+/// deadlocking it forever. Shared by every engine's fetch path.
+#[derive(Default)]
+pub struct FetchTracker {
+    inflight: HashMap<BlockId, hs1_types::SimTime>,
+}
+
+impl FetchTracker {
+    pub fn new() -> FetchTracker {
+        FetchTracker::default()
+    }
+
+    /// Should a `FetchBlock` for `id` go out now? Records the request
+    /// time when it answers yes.
+    pub fn should_request(
+        &mut self,
+        id: BlockId,
+        now: hs1_types::SimTime,
+        retry_after: hs1_types::SimDuration,
+    ) -> bool {
+        match self.inflight.get(&id) {
+            Some(&last) if now.since(last) < retry_after => false,
+            _ => {
+                self.inflight.insert(id, now);
+                true
+            }
+        }
+    }
+
+    /// The block arrived; clear its in-flight entry.
+    pub fn resolved(&mut self, id: BlockId) {
+        self.inflight.remove(&id);
+    }
+}
+
 /// State common to every engine: identity, crypto, block store, execution,
 /// mempool, committed chain.
 pub struct CoreState {
@@ -136,6 +174,8 @@ pub struct CoreState {
     pub blocks: HashMap<BlockId, Arc<Block>>,
     pub exec: ExecutionEngine,
     pub source: Box<dyn TxSource>,
+    /// Durability sink (no-op by default; see [`crate::persist`]).
+    pub persist: Box<dyn Persistence>,
     /// Committed block ids in commit order (genesis first).
     pub committed: Vec<BlockId>,
     committed_set: HashSet<BlockId>,
@@ -164,6 +204,7 @@ impl CoreState {
             blocks,
             exec: ExecutionEngine::new(exec_cfg),
             source,
+            persist: Box::new(NoopPersistence),
             committed: vec![gid],
             committed_set: HashSet::from([gid]),
             pruned_upto: 0,
@@ -227,6 +268,9 @@ impl CoreState {
             }
         }
         for b in path.into_iter().rev() {
+            // Write-ahead: journal the decision before applying it, so a
+            // crash between journal and apply replays deterministically.
+            self.persist.on_commit(&b);
             let had_digest = self.exec.digest_of(b.id()).is_some();
             let digest = self.exec.execute_committed(b.id(), &b.txs);
             // Respond to clients on commit only if no speculative response
@@ -242,6 +286,9 @@ impl CoreState {
             self.committed.push(id);
             self.committed_set.insert(id);
         }
+        if self.persist.wants_checkpoint() {
+            self.persist.write_checkpoint(self.exec.store().committed_store(), &self.committed);
+        }
         Ok(())
     }
 
@@ -256,8 +303,10 @@ impl CoreState {
         }
         let rolled = self.exec.rollback_conflicting(&[]);
         if rolled > 0 {
+            self.persist.on_rollback(rolled);
             out.push(Action::RolledBack { blocks: rolled });
         }
+        self.persist.on_speculate(b);
         let digest = self.exec.execute_speculative(b.id(), &b.txs);
         out.push(Action::Executed { block: b.clone(), digest, kind: ReplyKind::Speculative });
     }
@@ -276,6 +325,43 @@ impl CoreState {
             }
         }
         false
+    }
+
+    /// Root of the committed global-ledger state.
+    pub fn state_root(&self) -> hs1_crypto::Digest {
+        self.exec.store().committed_store().state_root()
+    }
+
+    /// Rebuild committed and speculative ledger state from recovery
+    /// (engine-level fields — view, certificates — are the caller's job).
+    ///
+    /// Runs with whatever [`Persistence`] is currently installed; callers
+    /// restore *before* [`crate::Replica::set_persistence`] so the replay
+    /// is not re-journaled. All emitted actions (client responses for
+    /// blocks long since answered) are discarded.
+    pub fn restore(&mut self, rs: RecoveredState) {
+        if let Some(store) = rs.committed_store {
+            self.exec.restore_committed(store);
+            for id in rs.committed_ids {
+                if self.committed_set.insert(id) {
+                    self.committed.push(id);
+                }
+            }
+        }
+        let mut sink = Vec::new();
+        for b in rs.decided {
+            self.insert_block(b.clone());
+            // A journal written in commit order cannot have gaps, but be
+            // defensive: a block whose ancestry is missing is skipped (the
+            // fetch path repairs it once the replica is back online).
+            let _ = self.commit_chain(b.id(), &mut sink);
+        }
+        for b in rs.speculated {
+            self.insert_block(b.clone());
+            if self.is_committed(b.parent) && !self.is_committed(b.id()) {
+                self.speculate(&b, &mut sink);
+            }
+        }
     }
 
     /// Prune block *bodies* far below the committed frontier (bounded

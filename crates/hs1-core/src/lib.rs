@@ -15,6 +15,7 @@
 //! | [`byzantine`] | fault strategies: slow leader, tail-forking, rollback/equivocation, crash, silence | §7.3 |
 //! | [`client`] | client-side quorum matching (early finality confirmation) | §3, §4.1 |
 //! | [`common`] | shared replica state: block store, mempool, commit/speculate paths | — |
+//! | [`persist`] | durability hooks ([`persist::Persistence`]) and recovered-state handoff | §4.2 recovery |
 
 pub mod basic;
 pub mod byzantine;
@@ -22,11 +23,13 @@ pub mod chained;
 pub mod client;
 pub mod common;
 pub mod pacemaker;
+pub mod persist;
 pub mod replica;
 pub mod slotted;
 pub mod testkit;
 
 pub use byzantine::Fault;
+pub use persist::{NoopPersistence, Persistence, RecoveredState};
 pub use replica::{Action, Replica, Timer};
 
 use hs1_types::{ProtocolKind, SystemConfig};

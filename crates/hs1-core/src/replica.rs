@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::persist::{Persistence, RecoveredState};
 use hs1_crypto::Digest;
 use hs1_types::{Block, Message, ReplicaId, ReplyKind, SimTime, View};
 
@@ -70,4 +71,20 @@ pub trait Replica: Send {
 
     /// Chain of committed block ids in commit order (invariant checking).
     fn committed_chain(&self) -> Vec<hs1_types::BlockId>;
+
+    /// Install a durability sink. Must be called *after*
+    /// [`Replica::restore`] (restore replays history; replaying through a
+    /// live journal would double-write it) and before the first
+    /// `on_init`/`on_message`.
+    fn set_persistence(&mut self, persist: Box<dyn Persistence>);
+
+    /// Rebuild state from a recovered journal + checkpoint. Called once,
+    /// before `on_init`; the engine re-enters at the recovered view and
+    /// never votes at or below it again (§4.2 recovery safety).
+    fn restore(&mut self, state: RecoveredState);
+
+    /// Root of the committed global-ledger state (recovery convergence
+    /// checks: a recovered replica must reach the same root as live
+    /// peers).
+    fn state_root(&self) -> Digest;
 }

@@ -25,8 +25,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::byzantine::Fault;
-use crate::common::{CoreState, TxSource};
+use crate::common::{CoreState, FetchTracker, TxSource};
 use crate::pacemaker::{Pacemaker, PmOutcome};
+use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
@@ -94,6 +95,10 @@ pub struct SlottedEngine {
     /// Next slot this replica will vote on in the current view.
     slot: Slot,
     high_cert: Certificate,
+    /// No NewSlot vote is ever cast at or below this rank. Genesis in
+    /// normal operation; raised past the recovered view on restore, since
+    /// the per-view `slot` cursor does not survive a crash (§4.2).
+    vote_floor: Rank,
     /// Highest voted block `B_h` (view, slot, id) — named in NewView votes.
     highest_voted: (Rank, BlockId),
     awaiting_tc: bool,
@@ -109,7 +114,7 @@ pub struct SlottedEngine {
     cert_children: HashMap<(u64, u32, BlockId), BlockId>,
     /// Proposals parked on a missing justify/carry block.
     pending_props: Vec<(ReplicaId, ProposeMsg)>,
-    fetching: HashSet<BlockId>,
+    fetching: FetchTracker,
     /// Commit target stalled on a missing ancestor (retried after fetch).
     retry_commit: Option<(BlockId, ReplicaId)>,
     /// Slots proposed per view (metric, exposed for tests/benches).
@@ -138,6 +143,7 @@ impl SlottedEngine {
             view: View::GENESIS,
             slot: Slot::FIRST,
             high_cert: Certificate::genesis(),
+            vote_floor: Rank::GENESIS,
             highest_voted: (Rank::GENESIS, Block::genesis_id()),
             awaiting_tc: false,
             crashed,
@@ -146,7 +152,7 @@ impl SlottedEngine {
             distrusted: HashSet::new(),
             cert_children: HashMap::new(),
             pending_props: Vec::new(),
-            fetching: HashSet::new(),
+            fetching: FetchTracker::new(),
             retry_commit: None,
             slots_proposed: 0,
         }
@@ -154,9 +160,15 @@ impl SlottedEngine {
 
     /// Commit `target`, fetching missing ancestor bodies from `source`
     /// and retrying when they arrive.
-    fn commit_or_fetch(&mut self, target: BlockId, source: ReplicaId, out: &mut Vec<Action>) {
+    fn commit_or_fetch(
+        &mut self,
+        target: BlockId,
+        source: ReplicaId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         if let Err(missing) = self.core.commit_chain(target, out) {
-            self.request_block(missing, source, out);
+            self.request_block(missing, source, now, out);
             self.retry_commit = Some((target, source));
         }
     }
@@ -191,6 +203,7 @@ impl SlottedEngine {
     fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.awaiting_tc = false;
         self.slot = Slot::FIRST;
+        self.core.persist.on_view(self.view);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -266,8 +279,16 @@ impl SlottedEngine {
 
     fn adopt_cert(&mut self, cert: Certificate, _from: ReplicaId) {
         if cert.rank() > self.high_cert.rank() && self.core.cert_valid(&cert) {
-            self.high_cert = cert;
+            self.set_high_cert(cert);
         }
+    }
+
+    /// Replace `high_cert`, journaling strict rank advances.
+    fn set_high_cert(&mut self, cert: Certificate) {
+        if cert.rank() > self.high_cert.rank() {
+            self.core.persist.on_cert(&cert);
+        }
+        self.high_cert = cert;
     }
 
     fn maybe_propose_first(&mut self, now: SimTime, out: &mut Vec<Action>) {
@@ -339,7 +360,7 @@ impl SlottedEngine {
                 return;
             }
             if cert.rank() > self.high_cert.rank() {
-                self.high_cert = cert.clone();
+                self.set_high_cert(cert.clone());
             }
             self.propose_block(cert, None, now, out);
             return;
@@ -356,7 +377,7 @@ impl SlottedEngine {
                 // Know the child id but not the body: fetch from anyone
                 // (at least f+1 correct replicas voted for it).
                 let from = ReplicaId(((self.core.me.0 as usize + 1) % n) as u32);
-                self.request_block(c, from, out);
+                self.request_block(c, from, now, out);
             }
             None => {
                 // No uncertified successor known. Only reachable when the
@@ -497,7 +518,7 @@ impl SlottedEngine {
             t.ns_shares.clear();
             t.proposing = None;
             if cert.rank() > self.high_cert.rank() {
-                self.high_cert = cert.clone();
+                self.set_high_cert(cert.clone());
             }
             let batch = self.core.make_batch();
             let next_slot = slot.next();
@@ -600,7 +621,7 @@ impl SlottedEngine {
         }
         if !missing.is_empty() {
             for id in missing {
-                self.request_block(id, from, out);
+                self.request_block(id, from, now, out);
             }
             self.pending_props.push((from, msg));
             return;
@@ -625,6 +646,12 @@ impl SlottedEngine {
             return; // already voted or rejected this slot
         }
         self.insert_block(&b);
+        if Rank::new(pv, ps) <= self.vote_floor {
+            // The pre-crash incarnation may already have voted at this
+            // position (§4.2 recovery); keep the body for commit walks
+            // but never sign here again.
+            return;
+        }
 
         let justify = b.justify.clone();
         let jb = self.core.block(justify.block).expect("justify present").clone();
@@ -637,7 +664,7 @@ impl SlottedEngine {
         let consecutive = (justify.view == jprev.view && justify.slot.is_successor_of(jprev.slot))
             || (justify.view.is_successor_of(jprev.view) && justify.slot == Slot::FIRST);
         if consecutive && !justify.is_genesis() {
-            self.commit_or_fetch(jprev.block, b.proposer, out);
+            self.commit_or_fetch(jprev.block, b.proposer, now, out);
         }
 
         // Speculation (Fig. 7 lines 17–20): No-Gap + Prefix-Speculation.
@@ -653,7 +680,7 @@ impl SlottedEngine {
         let rank_ok = self.high_cert.rank() <= justify.rank();
         if safe && (rank_ok || self.fault.colludes()) {
             if justify.rank() > self.high_cert.rank() {
-                self.high_cert = justify.clone();
+                self.set_high_cert(justify.clone());
             }
             let bytes = Certificate::signing_bytes(CertKind::NewSlot, pv, ps, b.id());
             let share = self.core.kp.sign(domains::NEW_SLOT, &bytes);
@@ -697,8 +724,10 @@ impl SlottedEngine {
         }
     }
 
-    fn request_block(&mut self, id: BlockId, from: ReplicaId, out: &mut Vec<Action>) {
-        if self.fetching.insert(id) {
+    /// Request a block body, re-sending after a view timer if a prior
+    /// fetch went unanswered (message loss must not deadlock catch-up).
+    fn request_block(&mut self, id: BlockId, from: ReplicaId, now: SimTime, out: &mut Vec<Action>) {
+        if self.fetching.should_request(id, now, self.core.cfg.view_timer) {
             out.push(Action::Send { to: from, msg: Message::FetchBlock { id } });
         }
     }
@@ -707,14 +736,14 @@ impl SlottedEngine {
         if !self.core.cert_valid(&block.justify) {
             return;
         }
-        self.fetching.remove(&block.id());
+        self.fetching.resolved(block.id());
         self.insert_block(&block);
         let parked = std::mem::take(&mut self.pending_props);
         for (from, prop) in parked {
             self.on_propose(from, prop, now, out);
         }
         if let Some((target, source)) = self.retry_commit.take() {
-            self.commit_or_fetch(target, source, out);
+            self.commit_or_fetch(target, source, now, out);
         }
         if self.is_leader() {
             self.maybe_propose_first(now, out);
@@ -731,7 +760,10 @@ impl Replica for SlottedEngine {
         if self.crashed {
             return;
         }
-        self.view = View(1);
+        // A restored replica re-enters at its recovered view.
+        if self.view < View(1) {
+            self.view = View(1);
+        }
         // Announce with a NEW_VIEW vote naming genesis so the first leader
         // can assemble a condition-(1) certificate if it wants to.
         let kind = CertKind::NewView { formed_in: self.view };
@@ -862,5 +894,34 @@ impl Replica for SlottedEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_persistence(&mut self, persist: Box<dyn Persistence>) {
+        self.core.persist = persist;
+    }
+
+    fn restore(&mut self, rs: RecoveredState) {
+        if rs.view > self.view {
+            self.view = rs.view;
+            // Conservative: treat every slot of the recovered view (and
+            // below) as voted — the per-view slot cursor is not journaled,
+            // so the floor blocks re-signing any position the pre-crash
+            // incarnation might have voted. `highest_voted` is left at its
+            // genesis default: that is a truthful *omission* of pre-crash
+            // votes (crash-fault semantics), whereas claiming a vote at a
+            // fabricated rank would be an equivocation NewView shares
+            // could aggregate.
+            self.vote_floor = Rank::new(rs.view, Slot(u32::MAX));
+        }
+        if let Some(cert) = &rs.high_cert {
+            if cert.rank() > self.high_cert.rank() {
+                self.high_cert = cert.clone();
+            }
+        }
+        self.core.restore(rs);
+    }
+
+    fn state_root(&self) -> hs1_crypto::Digest {
+        self.core.state_root()
     }
 }

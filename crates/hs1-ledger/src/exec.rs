@@ -115,6 +115,14 @@ impl ExecutionEngine {
         self.digests.get(&block).copied()
     }
 
+    /// Replace the committed base store with a recovered checkpoint image
+    /// (§4.2 recovery). The engine must not be mid-speculation: recovery
+    /// installs the checkpoint first and re-derives overlays afterwards.
+    pub fn restore_committed(&mut self, store: KvStore) {
+        assert_eq!(self.store.depth(), 0, "restore_committed under active speculation");
+        self.store = SpeculativeStore::new(store);
+    }
+
     pub fn store(&self) -> &SpeculativeStore {
         &self.store
     }
@@ -333,6 +341,29 @@ mod tests {
         assert_eq!(e.digest_of(BlockId::test(1)), None);
         let d = e.execute_committed(BlockId::test(1), &txs(2));
         assert_eq!(e.digest_of(BlockId::test(1)), Some(d));
+    }
+
+    #[test]
+    fn restore_committed_reproduces_state_root() {
+        let batch = txs(10);
+        let mut live = ExecutionEngine::new(ExecConfig::default());
+        live.execute_committed(BlockId::test(1), &batch);
+        let snapshot = KvStore::from_parts(
+            live.store().committed_store().record_count(),
+            live.store().committed_store().materialized(),
+        );
+
+        let mut recovered = ExecutionEngine::new(ExecConfig::default());
+        recovered.restore_committed(snapshot);
+        assert_eq!(
+            recovered.store().committed_store().state_root(),
+            live.store().committed_store().state_root()
+        );
+        // Execution continues identically on top of the restored base.
+        let batch2: Vec<_> = (0..5).map(|i| Transaction::kv_write(2, i, i + 3, i)).collect();
+        let d1 = live.execute_committed(BlockId::test(2), &batch2);
+        let d2 = recovered.execute_committed(BlockId::test(2), &batch2);
+        assert_eq!(d1, d2);
     }
 
     /// A batch exercising every write path: YCSB writes, reads, TPC-C

@@ -44,6 +44,24 @@ impl KvStore {
         self.map.insert(key, value);
     }
 
+    /// Iterate the materialized (actually written) entries, in no
+    /// particular order. Checkpointing serializes exactly this set plus
+    /// `record_count` — everything else is derivable from
+    /// [`initial_value`].
+    pub fn materialized(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Rebuild a store from its logical record count and materialized
+    /// writes (the inverse of [`KvStore::materialized`]; checkpoint
+    /// restore).
+    pub fn from_parts(
+        record_count: u64,
+        entries: impl IntoIterator<Item = (Key, Value)>,
+    ) -> KvStore {
+        KvStore { map: entries.into_iter().collect(), record_count }
+    }
+
     /// Number of materialized (actually written) keys.
     pub fn materialized_len(&self) -> usize {
         self.map.len()
@@ -158,6 +176,18 @@ mod tests {
         b.put(2, 22);
         b.put(1, 11);
         assert_eq!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_materialized_state() {
+        let mut a = KvStore::with_records(50);
+        a.put(3, 33);
+        a.put(99, 999);
+        let b = KvStore::from_parts(a.record_count(), a.materialized());
+        assert_eq!(a.state_root(), b.state_root());
+        assert_eq!(b.get(3), Some(33));
+        assert_eq!(b.get(99), Some(999));
+        assert_eq!(b.get(7), a.get(7), "unwritten keys still read initial values");
     }
 
     #[test]

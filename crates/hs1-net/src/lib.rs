@@ -8,7 +8,10 @@
 //! * [`node`] — [`node::NodeRunner`]: hosts a [`hs1_core::Replica`] behind
 //!   the mesh, maps wall-clock time onto the engine's virtual clock, fires
 //!   timers, and fans `Executed` actions out as per-transaction
-//!   [`hs1_types::message::ResponseMsg`]s to connected clients.
+//!   [`hs1_types::message::ResponseMsg`]s to connected clients. With
+//!   [`node::NodeRunner::with_storage`] the node recovers from an
+//!   `hs1-storage` journal before joining and journals durably while
+//!   running (see `examples/crash_recovery.rs`).
 //! * [`client_driver`] — a closed-loop client: broadcasts requests to all
 //!   replicas and applies the paper's finality rules via
 //!   [`hs1_core::client::FinalityTracker`].

@@ -3,7 +3,8 @@
 //! inbox.
 
 use std::collections::HashMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -24,6 +25,25 @@ pub enum Inbound {
 #[derive(Clone)]
 struct Outbound(Sender<Message>);
 
+/// Live streams keyed by a registration token. Reader/writer threads
+/// deregister their stream when they exit, so the registry holds only
+/// live connections (no fd leak on reconnecting peers) while still
+/// letting [`Mesh::shutdown`] sever everything at once.
+type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+fn register_stream(registry: &StreamRegistry, seq: &AtomicU64, s: &TcpStream) -> Option<u64> {
+    let clone = s.try_clone().ok()?;
+    let token = seq.fetch_add(1, Ordering::Relaxed);
+    registry.lock().unwrap().insert(token, clone);
+    Some(token)
+}
+
+fn deregister_stream(registry: &StreamRegistry, token: Option<u64>) {
+    if let Some(t) = token {
+        registry.lock().unwrap().remove(&t);
+    }
+}
+
 /// The mesh of a single replica process.
 pub struct Mesh {
     me: ReplicaId,
@@ -32,6 +52,11 @@ pub struct Mesh {
     host: String,
     replicas: Arc<Mutex<HashMap<u32, Outbound>>>,
     clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+    /// Every live stream (accepted and dialed) so [`Mesh::shutdown`] can
+    /// sever them and a restarted node can rebind the port.
+    streams: StreamRegistry,
+    stream_seq: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
     pub inbox: Receiver<Inbound>,
     inbox_tx: Sender<Inbound>,
 }
@@ -47,18 +72,55 @@ impl Mesh {
             host: host.to_string(),
             replicas: Arc::new(Mutex::new(HashMap::new())),
             clients: Arc::new(Mutex::new(HashMap::new())),
+            streams: Arc::new(Mutex::new(HashMap::new())),
+            stream_seq: Arc::new(AtomicU64::new(0)),
+            shutting_down: Arc::new(AtomicBool::new(false)),
             inbox,
             inbox_tx,
         };
         let listener = TcpListener::bind((host, base_port + me.0 as u16))?;
         let inbox_tx = mesh.inbox_tx.clone();
         let clients = mesh.clients.clone();
+        let streams = mesh.streams.clone();
+        let stream_seq = mesh.stream_seq.clone();
+        let shutting_down = mesh.shutting_down.clone();
         thread::Builder::new().name(format!("accept-{}", me.0)).spawn(move || {
-            for stream in listener.incoming().flatten() {
-                let _ = handle_incoming(stream, inbox_tx.clone(), clients.clone());
+            for stream in listener.incoming() {
+                if shutting_down.load(Ordering::SeqCst) {
+                    break; // drops the listener: the port is free again
+                }
+                let Ok(stream) = stream else { continue };
+                let token = register_stream(&streams, &stream_seq, &stream);
+                let res = handle_incoming(
+                    stream,
+                    token,
+                    inbox_tx.clone(),
+                    clients.clone(),
+                    streams.clone(),
+                );
+                if res.is_err() {
+                    // No reader thread took ownership (handshake failed).
+                    deregister_stream(&streams, token);
+                }
             }
         })?;
         Ok(mesh)
+    }
+
+    /// Tear the mesh down: sever every live stream (peers' writers fail
+    /// and lazily reconnect later) and unblock the accept loop so the
+    /// listener — and its port — are released. After this the node can be
+    /// "restarted" in-process by building a fresh [`Mesh`] on the same
+    /// port, which is how the crash-recovery example kills a node.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for (_, s) in self.streams.lock().unwrap().drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.replicas.lock().unwrap().clear();
+        self.clients.lock().unwrap().clear();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect((self.host.as_str(), self.base_port + self.me.0 as u16));
     }
 
     /// Send to a replica, connecting lazily (drops on failure — the
@@ -106,13 +168,22 @@ impl Mesh {
         .ok()?;
         stream.set_nodelay(true).ok()?;
         framing::send_hello(&mut stream, PeerKind::Replica(self.me.0)).ok()?;
+        let token = register_stream(&self.streams, &self.stream_seq, &stream);
         // Reader for the reverse direction of this stream is handled by
         // the remote's accept loop; here we only write.
-        Some(spawn_writer(stream, &format!("w-{}-{}", self.me.0, to.0)))
+        Some(spawn_writer(
+            stream,
+            &format!("w-{}-{}", self.me.0, to.0),
+            Some((self.streams.clone(), token)),
+        ))
     }
 }
 
-fn spawn_writer(mut stream: TcpStream, name: &str) -> Outbound {
+fn spawn_writer(
+    mut stream: TcpStream,
+    name: &str,
+    registration: Option<(StreamRegistry, Option<u64>)>,
+) -> Outbound {
     let (tx, rx) = channel::<Message>();
     let _ = thread::Builder::new().name(name.to_string()).spawn(move || {
         while let Ok(msg) = rx.recv() {
@@ -120,14 +191,19 @@ fn spawn_writer(mut stream: TcpStream, name: &str) -> Outbound {
                 break;
             }
         }
+        if let Some((registry, token)) = registration {
+            deregister_stream(&registry, token);
+        }
     });
     Outbound(tx)
 }
 
 fn handle_incoming(
     mut stream: TcpStream,
+    token: Option<u64>,
     inbox: Sender<Inbound>,
     clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+    streams: StreamRegistry,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let hello = framing::recv_hello(&mut stream)?;
@@ -139,18 +215,25 @@ fn handle_incoming(
                         break;
                     }
                 }
+                deregister_stream(&streams, token);
             })?;
         }
         PeerKind::Client(id) => {
-            // Register the write half so responses can reach the client.
+            // Register the write half so responses can reach the client
+            // (the reader thread owns the registry token; the writer half
+            // shares the same underlying socket).
             let write_half = stream.try_clone()?;
-            clients.lock().unwrap().insert(id, spawn_writer(write_half, &format!("w-client-{id}")));
+            clients
+                .lock()
+                .unwrap()
+                .insert(id, spawn_writer(write_half, &format!("w-client-{id}"), None));
             thread::Builder::new().name(format!("r-client-{id}")).spawn(move || {
                 while let Ok(msg) = framing::read_msg(&mut stream) {
                     if inbox.send(Inbound::FromClient(ClientId(id), msg)).is_err() {
                         break;
                     }
                 }
+                deregister_stream(&streams, token);
             })?;
         }
     }

@@ -28,6 +28,6 @@ pub mod regions;
 pub mod runner;
 pub mod scenario;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, DiskModel};
 pub use hs1_types::ProtocolKind;
 pub use scenario::{Report, Scenario, WorkloadKind};

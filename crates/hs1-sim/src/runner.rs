@@ -275,10 +275,24 @@ impl SimRunner {
         if !self.committed_first.contains(&block.id()) {
             self.proposed.entry(block.id()).or_insert_with(|| block.clone());
         }
-        // Responses serialize through the replica's NIC.
         let i = from.0 as usize;
+        // Durable deployments fsync the journal record (SpecMark or
+        // Decided, per policy) before the response may leave; the fsync
+        // also occupies the replica's CPU lane.
+        let fsync = match kind {
+            ReplyKind::Speculative if self.cost.disk.fsync_on_speculate => self.cost.disk.fsync,
+            ReplyKind::Committed if self.cost.disk.fsync_on_commit => self.cost.disk.fsync,
+            _ => SimDuration::ZERO,
+        };
+        let ready = if fsync > SimDuration::ZERO {
+            self.cpu_free[i] = self.now.max(self.cpu_free[i]) + fsync;
+            self.cpu_free[i]
+        } else {
+            self.now
+        };
+        // Responses serialize through the replica's NIC.
         let bytes = block.txs.len() * RESPONSE_BYTES_PER_TX;
-        let start = self.now.max(self.nic_free[i]);
+        let start = ready.max(self.nic_free[i]);
         let done = start + self.cost.tx_time(bytes);
         self.nic_free[i] = done;
         let arrival = done + self.net.client_delay(from, &mut self.rng);

@@ -1,0 +1,267 @@
+//! Ledger checkpoints: a serialized [`KvStore`] image plus the committed
+//! chain and consensus position, letting recovery skip journal replay of
+//! everything behind it (and the journal truncate its old segments).
+//!
+//! File layout: `ckpt-<journal_seq>.ckpt` containing
+//!
+//! ```text
+//! [8-byte magic][u32 len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! Writes go through a temp file + rename so a crash mid-checkpoint
+//! leaves either the old checkpoint or the new one, never a half file;
+//! a corrupt newest checkpoint falls back to an older one.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::StorageError;
+use hs1_crypto::Digest;
+use hs1_ledger::KvStore;
+use hs1_types::codec::{CodecError, Decode, Encode, Reader};
+use hs1_types::{BlockId, Certificate, View};
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"HS1CKPT1";
+
+/// A durable snapshot of a replica's committed state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Checkpoint {
+    /// Journal records with `seq <= journal_seq` are covered by this
+    /// snapshot; replay starts after it.
+    pub journal_seq: u64,
+    /// Highest view entered when the snapshot was taken.
+    pub view: View,
+    /// Highest certificate adopted when the snapshot was taken.
+    pub high_cert: Option<Certificate>,
+    /// Logical record count of the committed store.
+    pub record_count: u64,
+    /// Materialized writes, sorted by key (deterministic encoding).
+    pub entries: Vec<(u64, u64)>,
+    /// Committed chain ids in commit order (genesis first).
+    pub chain: Vec<BlockId>,
+    /// `state_root()` of the committed store (integrity cross-check).
+    pub state_root: Digest,
+}
+
+impl Checkpoint {
+    /// Snapshot `store` + `chain` at consensus position (`view`,
+    /// `high_cert`), covering the journal through `journal_seq`.
+    pub fn capture(
+        journal_seq: u64,
+        view: View,
+        high_cert: Option<Certificate>,
+        store: &KvStore,
+        chain: &[BlockId],
+    ) -> Checkpoint {
+        let mut entries: Vec<(u64, u64)> = store.materialized().collect();
+        entries.sort_unstable();
+        Checkpoint {
+            journal_seq,
+            view,
+            high_cert,
+            record_count: store.record_count(),
+            entries,
+            chain: chain.to_vec(),
+            state_root: store.state_root(),
+        }
+    }
+
+    /// Rebuild the committed store this checkpoint snapshotted.
+    pub fn restore_store(&self) -> KvStore {
+        KvStore::from_parts(self.record_count, self.entries.iter().copied())
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.journal_seq.encode(&mut out);
+        self.view.encode(&mut out);
+        self.high_cert.encode(&mut out);
+        self.record_count.encode(&mut out);
+        self.entries.encode(&mut out);
+        self.chain.encode(&mut out);
+        self.state_root.encode(&mut out);
+        out
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Checkpoint, CodecError> {
+        let mut r = Reader::new(payload);
+        let ckpt = Checkpoint {
+            journal_seq: u64::decode(&mut r)?,
+            view: View::decode(&mut r)?,
+            high_cert: Option::decode(&mut r)?,
+            record_count: u64::decode(&mut r)?,
+            entries: Vec::decode(&mut r)?,
+            chain: Vec::decode(&mut r)?,
+            state_root: Digest::decode(&mut r)?,
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes { remaining: r.remaining() });
+        }
+        Ok(ckpt)
+    }
+
+    /// Durably write this checkpoint into `dir` and delete older
+    /// checkpoint files. Returns the final path.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, StorageError> {
+        fs::create_dir_all(dir)?;
+        let payload = self.encode_payload();
+        let mut bytes = Vec::with_capacity(payload.len() + 16);
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let final_path = checkpoint_path(dir, self.journal_seq);
+        let tmp_path = final_path.with_extension("tmp");
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        fs::rename(&tmp_path, &final_path)?;
+        // The rename's directory entry must be durable *before* anything
+        // this checkpoint is the sole cover for (older checkpoints, the
+        // journal segments behind it) gets deleted — otherwise a power
+        // loss could persist the unlinks but not the rename.
+        crate::journal::sync_dir(dir)?;
+
+        for (seq, path) in checkpoint_files(dir)? {
+            if seq < self.journal_seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// Read and validate one checkpoint file.
+    pub fn read(path: &Path) -> Result<Checkpoint, StorageError> {
+        let corrupt = |detail: &'static str| StorageError::Corrupt {
+            file: path.display().to_string(),
+            offset: 0,
+            detail,
+        };
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < 16 || bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(corrupt("bad checkpoint magic"));
+        }
+        let len = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_be_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        if bytes.len() != 16 + len {
+            return Err(corrupt("checkpoint length mismatch"));
+        }
+        let payload = &bytes[16..];
+        if crc32(payload) != crc {
+            return Err(corrupt("checkpoint CRC mismatch"));
+        }
+        let ckpt = Self::decode_payload(payload).map_err(|_| corrupt("undecodable checkpoint"))?;
+        if ckpt.restore_store().state_root() != ckpt.state_root {
+            return Err(corrupt("checkpoint state root mismatch"));
+        }
+        Ok(ckpt)
+    }
+
+    /// Newest valid checkpoint in `dir`, skipping corrupt ones (newest
+    /// first). `None` when no valid checkpoint exists.
+    pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>, StorageError> {
+        let mut files = checkpoint_files(dir)?;
+        files.reverse(); // newest first
+        for (_, path) in files {
+            match Checkpoint::read(&path) {
+                Ok(ckpt) => return Ok(Some(ckpt)),
+                Err(StorageError::Corrupt { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn checkpoint_path(dir: &Path, journal_seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{journal_seq:012}.ckpt"))
+}
+
+/// Checkpoint files in `dir`, sorted oldest first.
+pub(crate) fn checkpoint_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(seq) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".ckpt")) {
+            if let Ok(seq) = seq.parse::<u64>() {
+                out.push((seq, path));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    fn sample(journal_seq: u64) -> Checkpoint {
+        let mut store = KvStore::with_records(100);
+        store.put(7, 700);
+        store.put(3, 42);
+        Checkpoint::capture(
+            journal_seq,
+            View(9),
+            Some(Certificate::genesis()),
+            &store,
+            &[BlockId::test(0), BlockId::test(1)],
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let tmp = TempDir::new("ckpt-roundtrip");
+        let ckpt = sample(41);
+        let path = ckpt.write(tmp.path()).unwrap();
+        let back = Checkpoint::read(&path).unwrap();
+        assert_eq!(back, ckpt);
+        let store = back.restore_store();
+        assert_eq!(store.get(3), Some(42));
+        assert_eq!(store.get(7), Some(700));
+        assert_eq!(store.state_root(), ckpt.state_root);
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older() {
+        let tmp = TempDir::new("ckpt-replace");
+        sample(10).write(tmp.path()).unwrap();
+        sample(20).write(tmp.path()).unwrap();
+        let files = checkpoint_files(tmp.path()).unwrap();
+        assert_eq!(files.len(), 1, "older checkpoint deleted");
+        let latest = Checkpoint::load_latest(tmp.path()).unwrap().unwrap();
+        assert_eq!(latest.journal_seq, 20);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected_and_skipped() {
+        let tmp = TempDir::new("ckpt-corrupt");
+        sample(10).write(tmp.path()).unwrap();
+        let newer = sample(20).write(tmp.path()).unwrap();
+        // Writing 20 deleted 10; re-create 10 to have a fallback.
+        sample(10).write(tmp.path()).unwrap();
+        // Corrupt the newest in place.
+        let mut bytes = fs::read(&newer).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newer, &bytes).unwrap();
+        assert!(matches!(Checkpoint::read(&newer), Err(StorageError::Corrupt { .. })));
+        // load_latest falls back to the older, valid one.
+        let latest = Checkpoint::load_latest(tmp.path()).unwrap().unwrap();
+        assert_eq!(latest.journal_seq, 10);
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let tmp = TempDir::new("ckpt-empty");
+        fs::create_dir_all(tmp.path()).unwrap();
+        assert!(Checkpoint::load_latest(tmp.path()).unwrap().is_none());
+    }
+}

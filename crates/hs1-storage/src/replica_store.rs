@@ -1,0 +1,295 @@
+//! [`ReplicaStorage`]: the journal-backed [`Persistence`] implementation
+//! a durable replica installs after recovery.
+//!
+//! Error policy: journal append/sync failures are **fail-stop** (panic) —
+//! a replica that silently loses its write-ahead log would violate the
+//! recovery safety argument the moment it restarts. Checkpoint failures
+//! are tolerated: the journal stays complete, so the only cost is replay
+//! time and disk (the failure is counted in
+//! [`ReplicaStorage::checkpoint_failures`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::checkpoint::Checkpoint;
+use crate::journal::{Journal, JournalConfig, SyncPolicy};
+use crate::record::JournalRecord;
+use crate::recovery::{recover, RecoveryInfo};
+use crate::StorageError;
+use hs1_core::persist::{Persistence, RecoveredState};
+use hs1_ledger::KvStore;
+use hs1_types::{Block, BlockId, Certificate, View};
+
+/// Tuning for a replica's durable storage.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageConfig {
+    /// Journal segment rotation threshold.
+    pub segment_bytes: u64,
+    /// Fsync batching policy.
+    pub sync: SyncPolicy,
+    /// Take a checkpoint (and truncate journal segments behind it) every
+    /// this many commits. `0` disables checkpointing.
+    pub checkpoint_every: u64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::EveryN(32),
+            checkpoint_every: 512,
+        }
+    }
+}
+
+impl StorageConfig {
+    fn journal(&self) -> JournalConfig {
+        JournalConfig { segment_bytes: self.segment_bytes, sync: self.sync }
+    }
+}
+
+/// Journal + checkpoint storage for one replica.
+pub struct ReplicaStorage {
+    dir: PathBuf,
+    journal: Journal,
+    checkpoint_every: u64,
+    commits_since_checkpoint: u64,
+    /// Seq of the most recent append (checkpoint coverage marker).
+    last_seq: Option<u64>,
+    /// Highest journaled view (goes into checkpoints).
+    view: View,
+    /// Highest journaled certificate (goes into checkpoints).
+    high_cert: Option<Certificate>,
+    /// Checkpoint attempts that failed (journal kept intact).
+    pub checkpoint_failures: u64,
+    /// Segment-prune attempts that failed after a successful checkpoint
+    /// (costs disk only; the checkpoint itself is counted as written).
+    pub prune_failures: u64,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u64,
+    /// Diagnostics from the recovery pass that opened this storage.
+    pub recovery_info: RecoveryInfo,
+}
+
+impl ReplicaStorage {
+    /// Open `dir`, running recovery. Returns the state to feed
+    /// [`hs1_core::Replica::restore`] (call it *before*
+    /// `set_persistence`, so the replay is not re-journaled) and the
+    /// storage to install afterwards.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        cfg: StorageConfig,
+    ) -> Result<(RecoveredState, ReplicaStorage), StorageError> {
+        let dir = dir.into();
+        let recovered = recover(&dir, cfg.journal())?;
+        let next = recovered.journal.next_seq();
+        let storage = ReplicaStorage {
+            dir,
+            journal: recovered.journal,
+            checkpoint_every: cfg.checkpoint_every,
+            commits_since_checkpoint: 0,
+            last_seq: next.checked_sub(1),
+            view: recovered.state.view,
+            high_cert: recovered.state.high_cert.clone(),
+            checkpoint_failures: 0,
+            prune_failures: 0,
+            checkpoints_written: 0,
+            recovery_info: recovered.info,
+        };
+        Ok((recovered.state, storage))
+    }
+
+    /// The directory this storage lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total fsyncs issued by the journal (metric).
+    pub fn fsyncs(&self) -> u64 {
+        self.journal.fsyncs
+    }
+
+    fn append(&mut self, rec: JournalRecord) {
+        match self.journal.append(&rec) {
+            Ok(seq) => self.last_seq = Some(seq),
+            // Fail-stop: an unwritable journal invalidates recovery.
+            Err(e) => panic!("journal append ({}) failed: {e}", rec.kind_name()),
+        }
+    }
+}
+
+impl Persistence for ReplicaStorage {
+    fn on_commit(&mut self, block: &Arc<Block>) {
+        self.append(JournalRecord::Decided(block.clone()));
+        self.commits_since_checkpoint += 1;
+    }
+
+    fn on_speculate(&mut self, block: &Arc<Block>) {
+        self.append(JournalRecord::SpecMark(block.clone()));
+        // Speculative responses reach clients immediately; make the mark
+        // durable before the engine's answer can leave the process.
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+    }
+
+    fn on_rollback(&mut self, blocks: usize) {
+        self.append(JournalRecord::SpecRollback { blocks: blocks as u32 });
+    }
+
+    fn on_cert(&mut self, cert: &Certificate) {
+        let better = self.high_cert.as_ref().map(|h| cert.rank() > h.rank()).unwrap_or(true);
+        if better {
+            self.high_cert = Some(cert.clone());
+        }
+        self.append(JournalRecord::Cert(cert.clone()));
+        // The adopted certificate gates which proposals this replica may
+        // vote for; losing it on crash would weaken the lock the quorum
+        // intersection argument depends on. Make it durable before any
+        // vote ranked against it can leave.
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+    }
+
+    fn on_view(&mut self, view: View) {
+        self.view = self.view.max(view);
+        self.append(JournalRecord::ViewChange(view));
+        // Vote safety: every vote cast in view v is preceded by entering
+        // v, and engines refuse to vote at or below the *recovered* view.
+        // That guarantee only holds if the ViewChange record is durable
+        // before any vote of view v can leave the process — so this sync
+        // must not ride the batching window. (Decided/Spec records keep
+        // the configured SyncPolicy batching.)
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+    }
+
+    fn wants_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every
+    }
+
+    fn write_checkpoint(&mut self, store: &KvStore, chain: &[BlockId]) {
+        // The checkpoint claims coverage of everything journaled so far;
+        // that claim must not outrun the journal's own durability.
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+        let Some(journal_seq) = self.last_seq else { return };
+        let ckpt =
+            Checkpoint::capture(journal_seq, self.view, self.high_cert.clone(), store, chain);
+        let mark = JournalRecord::CheckpointMark {
+            chain_len: chain.len() as u64,
+            state_root: ckpt.state_root,
+        };
+        match ckpt.write(&self.dir) {
+            Ok(_) => {
+                self.append(mark);
+                let _ = self.journal.sync();
+                if self.journal.prune_upto(journal_seq).is_err() {
+                    // Pruning is an optimization; a failure only costs
+                    // disk (the checkpoint itself succeeded).
+                    self.prune_failures += 1;
+                }
+                self.checkpoints_written += 1;
+                self.commits_since_checkpoint = 0;
+            }
+            Err(_) => {
+                // Journal remains complete; recovery just replays more.
+                self.checkpoint_failures += 1;
+            }
+        }
+    }
+
+    fn sync(&mut self) {
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use hs1_types::{ReplicaId, Slot, Transaction};
+
+    fn chain_block(view: u64, parent: &Arc<Block>, tag: u64) -> Arc<Block> {
+        let justify = Certificate {
+            kind: hs1_types::CertKind::Quorum,
+            view: parent.view,
+            slot: if parent.is_genesis() { Slot::GENESIS } else { Slot(1) },
+            block: parent.id(),
+            sigs: vec![],
+        };
+        Arc::new(Block::new(
+            ReplicaId(0),
+            View(view),
+            Slot(1),
+            justify,
+            vec![Transaction::kv_write(1, tag, tag * 31, tag)],
+        ))
+    }
+
+    #[test]
+    fn commit_counter_drives_checkpoints_and_pruning() {
+        let tmp = TempDir::new("rs-checkpoint");
+        let cfg =
+            StorageConfig { segment_bytes: 512, sync: SyncPolicy::Always, checkpoint_every: 4 };
+        let (state, mut storage) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+        assert!(state.is_empty());
+
+        let mut store = KvStore::with_records(10);
+        let mut chain = vec![hs1_types::Block::genesis_id()];
+        let mut parent = hs1_types::Block::genesis();
+        for i in 1..=10u64 {
+            let b = chain_block(i, &parent, i);
+            storage.on_view(View(i));
+            storage.on_commit(&b);
+            store.put(i, i);
+            chain.push(b.id());
+            parent = b;
+            if storage.wants_checkpoint() {
+                storage.write_checkpoint(&store, &chain);
+            }
+        }
+        assert_eq!(storage.checkpoints_written, 2, "10 commits / every 4");
+        assert_eq!(storage.checkpoint_failures, 0);
+        drop(storage);
+
+        // Recovery starts from the newest checkpoint: 8 commits covered,
+        // 2 replayed as decided bodies.
+        let (state, storage) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+        assert!(state.committed_store.is_some());
+        assert_eq!(state.committed_ids.len(), 9, "genesis + 8 checkpointed blocks");
+        assert_eq!(state.decided.len(), 2);
+        assert_eq!(state.view, View(10));
+        assert!(storage.recovery_info.checkpoint_seq.is_some());
+        let restored = state.committed_store.unwrap();
+        for i in 1..=8u64 {
+            assert_eq!(restored.get(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn reopen_without_checkpoint_replays_everything() {
+        let tmp = TempDir::new("rs-nockpt");
+        let cfg = StorageConfig {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+            ..StorageConfig::default()
+        };
+        let (_, mut storage) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+        let b1 = chain_block(1, &hs1_types::Block::genesis(), 1);
+        storage.on_speculate(&b1);
+        storage.on_commit(&b1);
+        assert!(!storage.wants_checkpoint(), "checkpointing disabled");
+        drop(storage);
+
+        let (state, _) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+        assert!(state.committed_store.is_none());
+        assert_eq!(state.decided.len(), 1);
+        assert!(state.speculated.is_empty(), "spec promoted by the commit");
+    }
+}

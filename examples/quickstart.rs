@@ -8,6 +8,12 @@
 use hotstuff1::sim::{ProtocolKind, Scenario};
 
 fn main() {
+    // Batch 32 with 64 closed-loop clients: the HS1-vs-HS2 latency gap
+    // only shows when the batch cap exceeds the peak reissue cohort
+    // (≈ clients/3; see ROADMAP.md "Quickstart config sensitivity").
+    // Below that (e.g. batch 16 at 64 clients) closed-loop queueing pins
+    // both protocols to the same admission cycle and the speculation win
+    // disappears from the measurement.
     println!("HotStuff-1 quickstart: 4 replicas, YCSB, batch 32, 1 simulated second\n");
     let report = Scenario::new(ProtocolKind::HotStuff1)
         .replicas(4)

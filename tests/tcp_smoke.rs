@@ -14,6 +14,7 @@ use hotstuff1::ledger::ExecConfig;
 use hotstuff1::net::client_driver::ClientDriver;
 use hotstuff1::net::mesh::{Inbound, Mesh};
 use hotstuff1::net::node::NodeRunner;
+use hotstuff1::storage::{StorageConfig, SyncPolicy};
 use hotstuff1::types::{
     ClientId, Message, ProtocolKind, ReplicaId, SimDuration, SystemConfig, Transaction,
 };
@@ -116,4 +117,92 @@ fn four_replicas_and_a_client_over_tcp() {
     let committed: Vec<u64> = handles.into_iter().map(|h| h.join().expect("replica")).collect();
     assert!(committed.iter().all(|&c| c > 0), "every replica commits over TCP: {committed:?}");
     assert!(!samples.is_empty(), "client reached early finality over TCP");
+}
+
+/// Kill a journal-backed replica mid-run, restart it from its journal,
+/// and require it to converge to the same committed `state_root()` as the
+/// replicas that never crashed (ISSUE 2 acceptance: journal replay +
+/// `FetchBlock` catch-up over real TCP).
+#[test]
+#[ignore = "multi-second wall-clock run; execute with cargo test -- --ignored"]
+fn killed_replica_recovers_from_journal_over_tcp() {
+    let n = 4;
+    let base_port = free_base_port(n as u16);
+    let protocol = ProtocolKind::HotStuff1;
+    let total = Duration::from_secs(4);
+    let crash_at = Duration::from_millis(1500);
+    let downtime = Duration::from_millis(200);
+
+    let dir = std::env::temp_dir().join(format!("hs1-tcp-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage_cfg = StorageConfig {
+        segment_bytes: 1 << 20,
+        sync: SyncPolicy::EveryN(64),
+        checkpoint_every: 512,
+    };
+
+    fn config(n: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::new(n);
+        cfg.view_timer = SimDuration::from_millis(150);
+        cfg.delta = SimDuration::from_millis(15);
+        cfg.batch_size = 16;
+        cfg
+    }
+
+    let mut live = Vec::new();
+    for id in 0..3u32 {
+        live.push(std::thread::spawn(move || {
+            let engine = build_replica(
+                protocol,
+                config(n),
+                ReplicaId(id),
+                Fault::Honest,
+                ExecConfig::default(),
+            );
+            let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
+            let mut runner = NodeRunner::new(engine, mesh);
+            runner.run_for(total);
+            runner.state_root()
+        }));
+    }
+
+    let dir3 = dir.clone();
+    let durable = std::thread::spawn(move || {
+        let engine =
+            build_replica(protocol, config(n), ReplicaId(3), Fault::Honest, ExecConfig::default());
+        let mesh = Mesh::start(ReplicaId(3), n, "127.0.0.1", base_port).expect("bind");
+        let mut runner =
+            NodeRunner::with_storage(engine, mesh, &dir3, storage_cfg).expect("open storage");
+        runner.run_for(crash_at);
+        runner.shutdown();
+        drop(runner);
+        std::thread::sleep(downtime);
+
+        let engine =
+            build_replica(protocol, config(n), ReplicaId(3), Fault::Honest, ExecConfig::default());
+        let mesh = Mesh::start(ReplicaId(3), n, "127.0.0.1", base_port).expect("rebind");
+        let mut runner =
+            NodeRunner::with_storage(engine, mesh, &dir3, storage_cfg).expect("recover");
+        let recovered_blocks = runner.committed_chain_len();
+        assert!(recovered_blocks > 1, "journal replay restored committed blocks");
+        runner.run_for(total - crash_at - downtime);
+        runner.state_root()
+    });
+
+    // Drive transactions across the crash window; the client tolerates
+    // the dead replica while it is down.
+    std::thread::sleep(Duration::from_millis(300));
+    let f = SystemConfig::new(n).f();
+    let mut client = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
+        .expect("connect");
+    let samples = client.run_closed_loop(Duration::from_millis(2700)).expect("client");
+    drop(client);
+
+    let root3 = durable.join().expect("durable replica");
+    let roots: Vec<_> = live.into_iter().map(|h| h.join().expect("replica")).collect();
+    assert!(!samples.is_empty(), "client reached finality across the crash");
+    for (i, root) in roots.iter().enumerate() {
+        assert_eq!(*root, root3, "replica {i} and recovered replica 3 agree on state root");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
