@@ -1,13 +1,20 @@
-//! Recovery-time bench: wall-clock cost of `hs1_storage::recover` plus
-//! engine restore, as a function of journal length, with and without a
-//! checkpoint covering most of it.
+//! Recovery-time bench: wall-clock cost of catching a replica up to a
+//! committed state, as a function of journal length, three ways:
 //!
-//! Not a paper figure — it characterizes the new `hs1-storage` subsystem
-//! (ISSUE 2): journal-only recovery re-executes every committed block, so
-//! it grows linearly with history; checkpoints bound the replayed tail,
-//! and once segment pruning discards the covered prefix the decode cost
-//! drops too (visible as the widening gap at longer journals). CSV lands
-//! in `bench_results/fig_recovery.csv`.
+//! * **journal-only** — `hs1_storage::recover` replays (and re-executes)
+//!   every committed block: O(history).
+//! * **checkpoint+tail** — the newest checkpoint covers ~95% of the
+//!   journal; only the tail replays.
+//! * **snapshot** — the `hs1-statesync` path a *fresh* replica takes:
+//!   pull the CRC-indexed chunks of a peer's checkpoint-derived image,
+//!   verify each chunk and the assembled state root, and restore the
+//!   engine from the image: O(state), flat in journal length. (Measured
+//!   in-process: the network round trips a real deployment adds are in
+//!   `hs1_sim::CatchupModel`, whose modeled crossover is printed below.)
+//!
+//! Not a paper figure — it characterizes the `hs1-storage` (ISSUE 2) and
+//! `hs1-statesync` (ISSUE 3) subsystems. CSV lands in
+//! `bench_results/fig_recovery.csv`.
 //!
 //! `HS1_BENCH_RECOVERY_BLOCKS` overrides the sweep (comma-separated).
 
@@ -19,12 +26,18 @@ use std::time::Instant;
 use hs1_core::byzantine::Fault;
 use hs1_core::chained::{ChainDepth, ChainedEngine};
 use hs1_core::common::LocalMempool;
-use hs1_core::persist::Persistence;
+use hs1_core::persist::{Persistence, RecoveredState};
 use hs1_core::Replica;
 use hs1_ledger::ExecConfig;
+use hs1_sim::CatchupModel;
+use hs1_statesync::{SnapshotImage, SnapshotServer};
+use hs1_storage::crc32::crc32;
 use hs1_storage::testutil::TempDir;
 use hs1_storage::{ReplicaStorage, StorageConfig, SyncPolicy};
-use hs1_types::{Block, CertKind, Certificate, ReplicaId, Slot, SystemConfig, Transaction, View};
+use hs1_types::message::{SnapshotChunkReqMsg, SnapshotReqMsg};
+use hs1_types::{
+    Block, CertKind, Certificate, Message, ReplicaId, Slot, SystemConfig, Transaction, View,
+};
 
 const TXS_PER_BLOCK: u64 = 8;
 
@@ -94,7 +107,15 @@ fn recover_once(dir: &std::path::Path, expect_root: hs1_crypto::Digest) -> (f64,
     let t0 = Instant::now();
     let (state, storage) = ReplicaStorage::open(dir, cfg).expect("recover");
     let info = storage.recovery_info.clone();
-    let mut engine = ChainedEngine::with_source(
+    let mut eng = engine();
+    eng.restore(state);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(eng.state_root(), expect_root, "recovery must reproduce the state root");
+    (elapsed_ms, info.replayed_records, info.skipped_records)
+}
+
+fn engine() -> ChainedEngine {
+    ChainedEngine::with_source(
         SystemConfig::new(4),
         ReplicaId(0),
         ChainDepth::Two,
@@ -102,17 +123,60 @@ fn recover_once(dir: &std::path::Path, expect_root: hs1_crypto::Digest) -> (f64,
         Fault::Honest,
         ExecConfig::default(),
         Box::new(LocalMempool::new()),
-    );
-    engine.restore(state);
+    )
+}
+
+/// Time the requester side of snapshot state sync against a prepared
+/// serving peer: chunk pulls + CRC verification + assembly + payload
+/// decode + root verification + engine restore. Returns
+/// `(elapsed_ms, chunks, image_bytes)`.
+fn snapshot_catchup_once(
+    dir: &std::path::Path,
+    expect_root: hs1_crypto::Digest,
+) -> (f64, u64, u64) {
+    // The serving peer prepares (and caches) its snapshot once for any
+    // number of joiners; that cost is not the joiner's.
+    let mut server = SnapshotServer::new(dir);
+    let req = Message::SnapshotReq(SnapshotReqMsg { have_chain_len: 1 });
+    let Some(Message::SnapshotManifest(manifest)) = server.handle(&req) else {
+        panic!("serving peer has a checkpoint to serve");
+    };
+
+    let t0 = Instant::now();
+    let mut buf = Vec::with_capacity(manifest.total_bytes as usize);
+    for i in 0..manifest.chunk_count() {
+        let creq = Message::SnapshotChunkReq(SnapshotChunkReqMsg {
+            state_root: manifest.state_root,
+            index: i,
+        });
+        let Some(Message::SnapshotChunk(c)) = server.handle(&creq) else {
+            panic!("chunk {i} served");
+        };
+        assert_eq!(crc32(&c.data), manifest.chunk_crcs[i as usize], "chunk CRC");
+        buf.extend_from_slice(&c.data);
+    }
+    let image = SnapshotImage::decode_payload(&buf).expect("image decodes");
+    assert_eq!(image.state_root, manifest.state_root, "assembled root matches manifest");
+    let store = image.restore_store();
+    let mut eng = engine();
+    eng.restore(RecoveredState {
+        view: manifest.view,
+        high_cert: Some(manifest.high_cert.clone()),
+        committed_store: Some(store),
+        committed_ids: image.chain.clone(),
+        decided: Vec::new(),
+        speculated: Vec::new(),
+    });
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(engine.state_root(), expect_root, "recovery must reproduce the state root");
-    (elapsed_ms, info.replayed_records, info.skipped_records)
+    assert_eq!(eng.state_root(), expect_root, "snapshot sync must reproduce the state root");
+    (elapsed_ms, manifest.total_bytes, image.entries.len() as u64)
 }
 
 fn main() {
     println!("=== fig_recovery: recovery time vs journal length ===");
     let mut rows =
         vec!["blocks,txs,mode,recover_ms,replayed_records,checkpoint_covered_records".to_string()];
+    let mut last_entries = 0u64;
     for blocks in sweep() {
         let chain = chain(blocks);
 
@@ -143,7 +207,34 @@ fn main() {
             "{blocks},{},checkpoint,{ms:.3},{replayed},{skipped}",
             blocks * TXS_PER_BLOCK
         ));
+
+        // Snapshot state sync: a fresh replica pulls a peer's image
+        // covering the *whole* chain and installs it — no replay at all.
+        // Flat in journal length; this is the O(state) column.
+        let dir = TempDir::new("figrec-snap");
+        let root = build_journal(dir.path(), &chain, blocks); // ckpt covers everything
+        let (ms, bytes, entries) = snapshot_catchup_once(dir.path(), root);
+        let covered = 3 * blocks; // view + spec + decide records per block
+        println!(
+            "  [snapshot-sync  ] {blocks:>6} blocks ({:>7} txs): {ms:>9.2} ms  ({bytes} image bytes, {entries} entries, 0 records replayed)",
+            blocks * TXS_PER_BLOCK
+        );
+        rows.push(format!("{blocks},{},snapshot,{ms:.3},0,{covered}", blocks * TXS_PER_BLOCK));
+        last_entries = entries;
     }
+
+    // Where the two regimes cross once real network round trips are
+    // charged (the node runner's gap-threshold heuristic comes from
+    // this model; see ROADMAP "Resolved items").
+    let sweep_max = sweep().into_iter().max().unwrap_or(0);
+    let model = CatchupModel::lan(last_entries, sweep_max);
+    println!(
+        "  modeled (LAN rtt {:?}): snapshot {:.2} ms flat, replay {:.4} ms/block -> crossover at {} blocks behind",
+        model.rtt,
+        model.snapshot_time().as_millis_f64(),
+        model.replay_time(1).as_millis_f64(),
+        model.crossover_blocks()
+    );
 
     let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     dir.pop();

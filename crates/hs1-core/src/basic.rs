@@ -469,7 +469,12 @@ impl Replica for BasicEngine {
                     });
                 }
             }
-            Message::FetchResp { block } if self.core.cert_valid(&block.justify) => {
+            // Only absorb blocks with an outstanding fetch (Byzantine
+            // peers must not push unrequested bodies into the store).
+            Message::FetchResp { block }
+                if self.fetching.is_inflight(block.id())
+                    && self.core.cert_valid(&block.justify) =>
+            {
                 self.fetching.resolved(block.id());
                 self.core.insert_block(block);
                 if let Some((target, source)) = self.retry_commit.take() {

@@ -542,6 +542,12 @@ impl ChainedEngine {
     }
 
     fn on_fetch_resp(&mut self, block: Arc<Block>, now: SimTime, out: &mut Vec<Action>) {
+        // Only absorb blocks we actually asked for: a Byzantine peer must
+        // not grow our store (or influence pending certs/proposals) by
+        // pushing unrequested bodies through the fetch path.
+        if !self.fetching.is_inflight(block.id()) {
+            return;
+        }
         // Fetched blocks must themselves chain to something we know;
         // recursively fetch if not. Justify validity is checked before use.
         if !self.core.cert_valid(&block.justify) {

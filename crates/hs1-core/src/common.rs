@@ -158,6 +158,13 @@ impl FetchTracker {
         }
     }
 
+    /// Is a fetch for `id` outstanding? Engines absorb a `FetchResp` only
+    /// when this holds — a Byzantine peer must not be able to push
+    /// arbitrary unrequested blocks into the store through the fetch path.
+    pub fn is_inflight(&self, id: BlockId) -> bool {
+        self.inflight.contains_key(&id)
+    }
+
     /// The block arrived; clear its in-flight entry.
     pub fn resolved(&mut self, id: BlockId) {
         self.inflight.remove(&id);
@@ -341,6 +348,14 @@ impl CoreState {
     /// blocks long since answered) are discarded.
     pub fn restore(&mut self, rs: RecoveredState) {
         if let Some(store) = rs.committed_store {
+            // Installing a committed base invalidates any live overlay —
+            // the state-sync path restores a second time, *after* local
+            // recovery may have re-derived speculation. Mirror a
+            // conflicting commit: roll the stack back first.
+            let rolled = self.exec.rollback_conflicting(&[]);
+            if rolled > 0 {
+                self.persist.on_rollback(rolled);
+            }
             self.exec.restore_committed(store);
             for id in rs.committed_ids {
                 if self.committed_set.insert(id) {
@@ -534,6 +549,31 @@ mod tests {
         assert_eq!(b.take_batch(1).len(), 1, "clone sees shared queue");
         assert_eq!(a.take_batch(10).len(), 1, "drained once globally");
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn restore_over_live_speculation_rolls_back_then_installs() {
+        // The state-sync path restores twice: local recovery may leave a
+        // re-derived speculation stack, and the snapshot install must
+        // displace it (not panic under restore_committed's no-overlay
+        // invariant).
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        s.insert_block(b1.clone());
+        let mut out = Vec::new();
+        s.speculate(&b1, &mut out);
+
+        let mut store = hs1_ledger::KvStore::with_records(10);
+        store.put(1, 11);
+        let expected_root = store.state_root();
+        let rs = crate::persist::RecoveredState {
+            committed_store: Some(store),
+            committed_ids: vec![Block::genesis_id(), BlockId::test(9)],
+            ..Default::default()
+        };
+        s.restore(rs);
+        assert_eq!(s.state_root(), expected_root, "synced image installed");
+        assert!(s.is_committed(BlockId::test(9)));
     }
 
     #[test]

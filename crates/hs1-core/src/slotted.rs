@@ -733,6 +733,11 @@ impl SlottedEngine {
     }
 
     fn on_fetch_resp(&mut self, block: Arc<Block>, now: SimTime, out: &mut Vec<Action>) {
+        // Only absorb blocks with an outstanding fetch (Byzantine peers
+        // must not push unrequested bodies into the store).
+        if !self.fetching.is_inflight(block.id()) {
+            return;
+        }
         if !self.core.cert_valid(&block.justify) {
             return;
         }

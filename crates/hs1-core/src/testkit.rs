@@ -14,7 +14,7 @@ use hs1_types::{Block, BlockId, Message, ReplicaId, ReplyKind, SimDuration, SimT
 
 #[derive(Clone, Debug)]
 enum Ev {
-    Msg { from: ReplicaId, to: ReplicaId, msg: Message },
+    Msg { from: ReplicaId, to: ReplicaId, msg: Box<Message> },
     Timer { at: ReplicaId, timer: Timer },
 }
 
@@ -72,7 +72,7 @@ impl TestNet {
             match a {
                 Action::Send { to, msg } => {
                     if !isolated {
-                        self.push_event(self.now + hop, Ev::Msg { from, to, msg });
+                        self.push_event(self.now + hop, Ev::Msg { from, to, msg: Box::new(msg) });
                     }
                 }
                 Action::Broadcast { msg } => {
@@ -80,7 +80,11 @@ impl TestNet {
                         for r in 0..self.n() {
                             self.push_event(
                                 self.now + hop,
-                                Ev::Msg { from, to: ReplicaId(r as u32), msg: msg.clone() },
+                                Ev::Msg {
+                                    from,
+                                    to: ReplicaId(r as u32),
+                                    msg: Box::new(msg.clone()),
+                                },
                             );
                         }
                     }
@@ -127,7 +131,7 @@ impl TestNet {
             match ev {
                 Ev::Msg { from, to, msg } => {
                     let i = to.0 as usize;
-                    self.engines[i].on_message(from, msg, self.now, &mut out);
+                    self.engines[i].on_message(from, *msg, self.now, &mut out);
                     self.absorb(to, out);
                 }
                 Ev::Timer { at: rid, timer } => {

@@ -357,3 +357,76 @@ fn slotted_tail_fork_wastes_only_attackers_view() {
     assert!(f / h > 0.5, "slotted resists tail-forking: {f}/{h}");
     forked.assert_prefix_agreement(&[0, 2, 3]);
 }
+
+// -- fetch-path hardening ---------------------------------------------------------
+
+/// A Byzantine peer must not be able to push unrequested block bodies
+/// into a replica's store through the `FetchResp` path. Observable via
+/// the serving side: a replica re-serves any block it holds, so a block
+/// absorbed from an unsolicited response would answer a later
+/// `FetchBlock` for it.
+#[test]
+fn unsolicited_fetch_resp_is_dropped() {
+    use hs1_types::{Certificate, Message, SimTime, Slot, View};
+    use std::sync::Arc;
+
+    let engines: Vec<(&str, Box<dyn Replica>)> = vec![
+        (
+            "chained",
+            Box::new(ChainedEngine::new(
+                cfg(4),
+                ReplicaId(0),
+                ChainDepth::Two,
+                true,
+                Fault::Honest,
+                ExecConfig::default(),
+            )),
+        ),
+        (
+            "basic",
+            Box::new(BasicEngine::new(cfg(4), ReplicaId(0), Fault::Honest, ExecConfig::default())),
+        ),
+        (
+            "slotted",
+            Box::new(SlottedEngine::new(
+                cfg(4),
+                ReplicaId(0),
+                Fault::Honest,
+                ExecConfig::default(),
+            )),
+        ),
+    ];
+
+    for (name, mut engine) in engines {
+        let mut out = Vec::new();
+        engine.on_init(SimTime::ZERO, &mut out);
+        out.clear();
+
+        // A structurally valid block (genesis justify verifies trivially)
+        // the engine never asked for.
+        let forged = Arc::new(hs1_types::Block::new(
+            ReplicaId(2),
+            View(1),
+            Slot(1),
+            Certificate::genesis(),
+            vec![Transaction::kv_write(9, 1, 2, 3)],
+        ));
+        let id = forged.id();
+        engine.on_message(
+            ReplicaId(2),
+            Message::FetchResp { block: forged },
+            SimTime::ZERO,
+            &mut out,
+        );
+        out.clear();
+
+        engine.on_message(ReplicaId(1), Message::FetchBlock { id }, SimTime::ZERO, &mut out);
+        assert!(
+            !out.iter().any(|a| matches!(
+                a,
+                hs1_core::replica::Action::Send { msg: Message::FetchResp { .. }, .. }
+            )),
+            "{name}: unsolicited FetchResp must not be absorbed into the store"
+        );
+    }
+}

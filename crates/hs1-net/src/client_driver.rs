@@ -22,7 +22,11 @@ pub struct ClientDriver {
 }
 
 impl ClientDriver {
-    /// Connect to all `n` replicas at `host:base_port + i`.
+    /// Connect to the `n` replicas at `host:base_port + i`. Up to `f`
+    /// replicas may be unreachable (down, or not yet started): their
+    /// streams are skipped and finality quorums are collected from the
+    /// live majority — the same tolerance a BFT client needs at
+    /// submission time anyway.
     pub fn connect(
         id: ClientId,
         n: usize,
@@ -33,8 +37,18 @@ impl ClientDriver {
     ) -> std::io::Result<ClientDriver> {
         let (tx, rx) = channel();
         let mut streams = Vec::with_capacity(n);
+        let mut unreachable = 0usize;
         for r in 0..n {
-            let mut stream = TcpStream::connect((host, base_port + r as u16))?;
+            let mut stream = match TcpStream::connect((host, base_port + r as u16)) {
+                Ok(s) => s,
+                Err(e) => {
+                    unreachable += 1;
+                    if unreachable > f {
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
             stream.set_nodelay(true)?;
             framing::send_hello(&mut stream, PeerKind::Client(id.0))?;
             let mut read_half = stream.try_clone()?;

@@ -11,7 +11,10 @@
 //!   [`hs1_types::message::ResponseMsg`]s to connected clients. With
 //!   [`node::NodeRunner::with_storage`] the node recovers from an
 //!   `hs1-storage` journal before joining and journals durably while
-//!   running (see `examples/crash_recovery.rs`).
+//!   running (see `examples/crash_recovery.rs`); durable nodes also serve
+//!   `hs1-statesync` snapshots, and [`node::NodeRunner::with_state_sync`]
+//!   makes a lagging or fresh replica pull a verified snapshot before
+//!   joining consensus (see `examples/state_sync.rs`).
 //! * [`client_driver`] — a closed-loop client: broadcasts requests to all
 //!   replicas and applies the paper's finality rules via
 //!   [`hs1_core::client::FinalityTracker`].

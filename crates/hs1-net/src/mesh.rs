@@ -107,6 +107,11 @@ impl Mesh {
         Ok(mesh)
     }
 
+    /// Deployment size this mesh was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Tear the mesh down: sever every live stream (peers' writers fail
     /// and lazily reconnect later) and unblock the accept loop so the
     /// listener — and its port — are released. After this the node can be

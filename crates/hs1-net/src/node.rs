@@ -10,6 +10,17 @@
 //! the first proposal it receives references a certificate whose block it
 //! does not have, the engine requests the missing body from the proposer,
 //! and commits walk the fetched chain back to the recovered head.
+//!
+//! Every durable node also *serves snapshots*: `SnapshotReq` /
+//! `SnapshotChunkReq` messages are answered out of its newest checkpoint
+//! (see `hs1-statesync`). With [`NodeRunner::with_state_sync`] the node
+//! additionally runs the *requesting* side before joining consensus: if
+//! `f + 1` peers agree on a snapshot that is further ahead than the
+//! configured gap threshold, the node downloads and verifies the image,
+//! installs it into the engine and its own storage, and only then starts
+//! the engine — leaving just the short residual suffix to the per-block
+//! fetch path. A fresh empty-disk replica joins a long-running cluster in
+//! O(state) instead of O(history).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -17,11 +28,30 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use crate::mesh::{Inbound, Mesh};
+use hs1_core::persist::RecoveredState;
 use hs1_core::replica::{Action, Replica, Timer};
 use hs1_crypto::Sha256;
+use hs1_statesync::{SnapshotServer, SyncClient, SyncConfig, SyncPhase, SyncStats};
 use hs1_storage::{RecoveryInfo, ReplicaStorage, StorageConfig, StorageError};
 use hs1_types::message::ResponseMsg;
-use hs1_types::{Message, SimTime};
+use hs1_types::{Message, ReplicaId, SimTime};
+
+/// Node-level state-sync tuning: the protocol knobs plus the wall-clock
+/// budget after which the node gives up and falls back to per-block
+/// replay (snapshot sync is an optimization; it must never be able to
+/// wedge a join).
+#[derive(Clone, Debug)]
+pub struct StateSyncConfig {
+    pub sync: SyncConfig,
+    /// Abandon the sync phase (and start consensus anyway) after this.
+    pub overall_timeout: Duration,
+}
+
+impl StateSyncConfig {
+    pub fn new(sync: SyncConfig) -> StateSyncConfig {
+        StateSyncConfig { sync, overall_timeout: Duration::from_secs(10) }
+    }
+}
 
 /// Hosts one engine on the mesh until `run_for` elapses.
 pub struct NodeRunner {
@@ -30,10 +60,22 @@ pub struct NodeRunner {
     start: Instant,
     timers: BinaryHeap<Reverse<(SimTime, u64, Timer)>>,
     timer_seq: u64,
+    /// Snapshot serving side (installed for every durable node).
+    server: Option<SnapshotServer>,
+    /// Storage held back until the sync phase decides what to install
+    /// (`with_state_sync` only; `with_storage` installs immediately).
+    pending_sync: Option<(ReplicaStorage, StateSyncConfig)>,
+    /// Non-statesync traffic that arrived during the sync phase, replayed
+    /// into the engine when it starts.
+    deferred: Vec<Inbound>,
     /// Committed blocks observed (for smoke-test introspection).
     pub committed_blocks: u64,
     /// Recovery diagnostics when the node was opened with storage.
     pub recovery: Option<RecoveryInfo>,
+    /// Counters from the sync phase (`with_state_sync` only).
+    pub sync_stats: Option<SyncStats>,
+    /// Did the node install a verified snapshot (vs replay/fallback)?
+    pub synced_via_snapshot: bool,
 }
 
 impl NodeRunner {
@@ -44,14 +86,20 @@ impl NodeRunner {
             start: Instant::now(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
+            server: None,
+            pending_sync: None,
+            deferred: Vec::new(),
             committed_blocks: 0,
             recovery: None,
+            sync_stats: None,
+            synced_via_snapshot: false,
         }
     }
 
     /// Durable node: recover `engine` from the journal in `dir` (replay
     /// first, then install the journal as the engine's persistence), so
-    /// a crash–restart cycle on the same directory resumes safely.
+    /// a crash–restart cycle on the same directory resumes safely. The
+    /// node serves snapshots to syncing peers out of the same directory.
     pub fn with_storage(
         mut engine: Box<dyn Replica>,
         mesh: Mesh,
@@ -63,8 +111,49 @@ impl NodeRunner {
         engine.restore(state);
         engine.set_persistence(Box::new(storage));
         let mut runner = NodeRunner::new(engine, mesh);
+        runner.server = Some(SnapshotServer::new(dir.as_ref()));
         runner.recovery = Some(recovery);
         Ok(runner)
+    }
+
+    /// Durable node that *first* tries snapshot state sync: local journal
+    /// recovery runs as in [`NodeRunner::with_storage`], but the engine
+    /// is not started until the sync phase (the first part of
+    /// [`NodeRunner::run_for`]) has either installed a verified peer
+    /// snapshot on top of the recovered state or decided replay is the
+    /// better catch-up (gap below threshold, no agreement in time).
+    pub fn with_state_sync(
+        mut engine: Box<dyn Replica>,
+        mesh: Mesh,
+        dir: impl AsRef<Path>,
+        cfg: StorageConfig,
+        sync_cfg: StateSyncConfig,
+    ) -> Result<NodeRunner, StorageError> {
+        let (state, storage) = ReplicaStorage::open(dir.as_ref(), cfg)?;
+        let recovery = storage.recovery_info.clone();
+        engine.restore(state);
+        let mut runner = NodeRunner::new(engine, mesh);
+        runner.server = Some(SnapshotServer::new(dir.as_ref()));
+        runner.recovery = Some(recovery);
+        runner.pending_sync = Some((storage, sync_cfg));
+        Ok(runner)
+    }
+
+    /// Byzantine fault injection for tests and demos: serve corrupted
+    /// snapshot chunks (syncing peers must reject them and rotate away).
+    pub fn corrupt_snapshot_chunks(&mut self) {
+        if let Some(server) = &mut self.server {
+            server.inject_corruption(true);
+        }
+    }
+
+    /// Snapshot chunk size served by this node. Deployment-wide setting:
+    /// the chunk size is part of the manifest agreement key, so every
+    /// serving replica must use the same value.
+    pub fn set_snapshot_chunk_bytes(&mut self, chunk_bytes: u32) {
+        if let Some(server) = &mut self.server {
+            server.set_chunk_bytes(chunk_bytes);
+        }
     }
 
     /// Sever every connection and release the listen port (the "kill"
@@ -88,13 +177,29 @@ impl NodeRunner {
         SimTime(self.start.elapsed().as_nanos() as u64)
     }
 
-    /// Run the node loop for `duration` wall-clock time.
+    /// Run the node loop for `duration` wall-clock time. A node built
+    /// with [`NodeRunner::with_state_sync`] spends the start of the
+    /// window in the sync phase (bounded by its `overall_timeout` and by
+    /// `duration`), then runs consensus for the remainder.
     pub fn run_for(&mut self, duration: Duration) {
+        let deadline = Instant::now() + duration;
+        if let Some((mut storage, sync_cfg)) = self.pending_sync.take() {
+            self.run_sync_phase(&mut storage, &sync_cfg, deadline);
+            // Whatever the sync phase decided, the journal goes live now
+            // (install_snapshot already ran inside on success).
+            self.engine.set_persistence(Box::new(storage));
+        }
+
         self.start = Instant::now();
         let mut out = Vec::new();
         self.engine.on_init(self.now(), &mut out);
         self.dispatch(out);
-        let deadline = Instant::now() + duration;
+        // Replay traffic that arrived while the sync phase held the
+        // inbox: stale proposals seed the block store (shortening the
+        // residual fetch), requests enter the mempool.
+        for inbound in std::mem::take(&mut self.deferred) {
+            self.handle_inbound(inbound);
+        }
         while Instant::now() < deadline {
             // Fire due timers.
             let now = self.now();
@@ -114,18 +219,114 @@ impl NodeRunner {
                 .map(|Reverse((at, _, _))| Duration::from_nanos(at.0.saturating_sub(self.now().0)))
                 .unwrap_or(Duration::from_millis(5))
                 .min(Duration::from_millis(5));
-            match self.mesh.inbox.recv_timeout(wait) {
-                Ok(Inbound::FromReplica(from, msg)) => {
+            if let Ok(inbound) = self.mesh.inbox.recv_timeout(wait) {
+                self.handle_inbound(inbound);
+            }
+        }
+    }
+
+    fn handle_inbound(&mut self, inbound: Inbound) {
+        match inbound {
+            Inbound::FromReplica(from, msg) => match msg {
+                // Serving side of state sync lives at the node layer;
+                // engines never see snapshot traffic.
+                Message::SnapshotReq(_) | Message::SnapshotChunkReq(_) => {
+                    if let Some(server) = &mut self.server {
+                        if let Some(resp) = server.handle(&msg) {
+                            self.mesh.send_replica(from, resp);
+                        }
+                    }
+                }
+                // Stale sync-phase replies (e.g. a slow manifest).
+                Message::SnapshotManifest(_) | Message::SnapshotChunk(_) => {}
+                _ => {
                     let mut out = Vec::new();
                     self.engine.on_message(from, msg, self.now(), &mut out);
                     self.dispatch(out);
                 }
-                Ok(Inbound::FromClient(_client, msg)) => {
-                    if let Message::Request(tx) = msg {
-                        self.engine.enqueue_txs(&[tx]);
-                    }
+            },
+            Inbound::FromClient(_client, msg) => {
+                if let Message::Request(tx) = msg {
+                    self.engine.enqueue_txs(&[tx]);
                 }
+            }
+        }
+    }
+
+    /// The requesting side of snapshot state sync: drive the
+    /// `hs1-statesync` client against the mesh until it finishes or the
+    /// budget runs out, deferring all other traffic. On success the
+    /// verified image is installed into the engine *and* journaled as a
+    /// local checkpoint, so a crash right after the sync recovers from
+    /// disk instead of re-downloading.
+    fn run_sync_phase(
+        &mut self,
+        storage: &mut ReplicaStorage,
+        cfg: &StateSyncConfig,
+        run_deadline: Instant,
+    ) {
+        let me = self.engine.id();
+        let peers: Vec<ReplicaId> =
+            (0..self.mesh.n() as u32).map(ReplicaId).filter(|r| *r != me).collect();
+        let have = self.engine.committed_chain().len() as u64;
+        let mut client = SyncClient::new(cfg.sync.clone(), peers, have);
+        let deadline = run_deadline.min(Instant::now() + cfg.overall_timeout);
+
+        let mut out: Vec<(ReplicaId, Message)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            client.poll(now, &mut out);
+            for (to, msg) in out.drain(..) {
+                self.mesh.send_replica(to, msg);
+            }
+            match client.phase() {
+                SyncPhase::Done | SyncPhase::Declined | SyncPhase::Failed => break,
+                SyncPhase::Collecting | SyncPhase::Downloading => {}
+            }
+            match self.mesh.inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(Inbound::FromReplica(from, msg)) => match &msg {
+                    Message::SnapshotManifest(_) | Message::SnapshotChunk(_) => {
+                        client.on_message(from, &msg, Instant::now(), &mut out);
+                    }
+                    Message::SnapshotReq(_) | Message::SnapshotChunkReq(_) => {
+                        if let Some(server) = &mut self.server {
+                            if let Some(resp) = server.handle(&msg) {
+                                self.mesh.send_replica(from, resp);
+                            }
+                        }
+                    }
+                    _ => self.deferred.push(Inbound::FromReplica(from, msg)),
+                },
+                Ok(other) => self.deferred.push(other),
                 Err(_) => {}
+            }
+        }
+        for (to, msg) in out.drain(..) {
+            self.mesh.send_replica(to, msg);
+        }
+
+        self.sync_stats = Some(client.stats);
+        if client.phase() == SyncPhase::Done {
+            if let Some(synced) = client.take_synced() {
+                let store = synced.image.restore_store();
+                storage.install_snapshot(
+                    &store,
+                    &synced.image.chain,
+                    synced.view,
+                    Some(synced.high_cert.clone()),
+                );
+                self.engine.restore(RecoveredState {
+                    view: synced.view,
+                    high_cert: Some(synced.high_cert),
+                    committed_store: Some(store),
+                    committed_ids: synced.image.chain,
+                    decided: Vec::new(),
+                    speculated: Vec::new(),
+                });
+                self.synced_via_snapshot = true;
             }
         }
     }

@@ -27,7 +27,9 @@ pub mod oracle;
 pub mod regions;
 pub mod runner;
 pub mod scenario;
+pub mod statesync;
 
 pub use cost::{CostModel, DiskModel};
 pub use hs1_types::ProtocolKind;
 pub use scenario::{Report, Scenario, WorkloadKind};
+pub use statesync::CatchupModel;

@@ -1,0 +1,265 @@
+//! The snapshot image: what actually crosses the wire during state sync.
+//!
+//! An image is the state-identity slice of a durable
+//! [`hs1_storage::Checkpoint`] — the materialized KV entries, the logical
+//! record count, and the committed chain ids — *excluding* the serving
+//! peer's consensus position (view / certificate), so that any two honest
+//! peers whose checkpoints cover the same chain position produce
+//! **byte-identical payloads**. That determinism is what the `f + 1`
+//! manifest-agreement rule (see the crate docs) and cross-peer chunk
+//! resumption rest on.
+//!
+//! Payload layout (the `hs1-types` codec, like everything on the wire):
+//!
+//! ```text
+//! [u64 record_count][Vec<(u64,u64)> entries, key-sorted][Vec<BlockId> chain]
+//! ```
+//!
+//! The payload is split into fixed-size chunks; the manifest carries one
+//! CRC32 per chunk (the integrity index) plus the image's `state_root`,
+//! which the assembler recomputes from the decoded entries before
+//! installing anything.
+
+use hs1_crypto::Digest;
+use hs1_ledger::KvStore;
+use hs1_storage::crc32::crc32;
+use hs1_storage::Checkpoint;
+use hs1_types::codec::{Decode, Encode, Reader};
+use hs1_types::message::{SnapshotChunkMsg, SnapshotManifestMsg};
+use hs1_types::{Block, BlockId, Certificate, View};
+
+use crate::SyncError;
+
+/// Default chunk size. Small enough that one chunk is far below the
+/// transport's frame and sequence limits, large enough that a
+/// multi-megabyte image takes tens of round trips, not thousands.
+pub const DEFAULT_CHUNK_BYTES: u32 = 256 * 1024;
+
+/// A decoded (or to-be-encoded) snapshot image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotImage {
+    /// Logical record count of the committed store.
+    pub record_count: u64,
+    /// Materialized writes, sorted by key (canonical ordering — required
+    /// for byte-identical payloads across peers).
+    pub entries: Vec<(u64, u64)>,
+    /// Committed chain ids in commit order, genesis first.
+    pub chain: Vec<BlockId>,
+    /// `state_root()` of the store the image describes. For decoded
+    /// images this is *recomputed from the entries*, never read from the
+    /// wire.
+    pub state_root: Digest,
+}
+
+impl SnapshotImage {
+    /// Snapshot a live store + chain (tests and benches; the serving path
+    /// uses [`SnapshotImage::from_checkpoint`]).
+    pub fn capture(store: &KvStore, chain: &[BlockId]) -> SnapshotImage {
+        let mut entries: Vec<(u64, u64)> = store.materialized().collect();
+        entries.sort_unstable();
+        SnapshotImage {
+            record_count: store.record_count(),
+            entries,
+            chain: chain.to_vec(),
+            state_root: store.state_root(),
+        }
+    }
+
+    /// The image a durable checkpoint serves (checkpoint entries are
+    /// already key-sorted).
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> SnapshotImage {
+        SnapshotImage {
+            record_count: ckpt.record_count,
+            entries: ckpt.entries.clone(),
+            chain: ckpt.chain.clone(),
+            state_root: ckpt.state_root,
+        }
+    }
+
+    /// Rebuild the committed store this image describes.
+    pub fn restore_store(&self) -> KvStore {
+        KvStore::from_parts(self.record_count, self.entries.iter().copied())
+    }
+
+    /// Canonical payload bytes (deterministic across honest peers).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.entries.len() * 16 + self.chain.len() * 32);
+        self.record_count.encode(&mut out);
+        self.entries.encode(&mut out);
+        self.chain.encode(&mut out);
+        out
+    }
+
+    /// Decode an assembled payload, recomputing the state root from the
+    /// decoded entries and enforcing the structural invariants a hostile
+    /// serializer could violate.
+    pub fn decode_payload(bytes: &[u8]) -> Result<SnapshotImage, SyncError> {
+        let mut r = Reader::new(bytes);
+        let record_count = u64::decode(&mut r)?;
+        let entries = Vec::<(u64, u64)>::decode(&mut r)?;
+        let chain = Vec::<BlockId>::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SyncError::Malformed("trailing bytes after image"));
+        }
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(SyncError::Malformed("entries not strictly key-sorted"));
+        }
+        if chain.first() != Some(&Block::genesis_id()) {
+            return Err(SyncError::Malformed("chain does not start at genesis"));
+        }
+        let state_root = KvStore::from_parts(record_count, entries.iter().copied()).state_root();
+        Ok(SnapshotImage { record_count, entries, chain, state_root })
+    }
+
+    /// Build the manifest describing `payload` (the encoding of `self`)
+    /// split into `chunk_bytes`-sized chunks, annotated with the serving
+    /// peer's consensus position.
+    pub fn manifest(
+        &self,
+        payload: &[u8],
+        chunk_bytes: u32,
+        view: View,
+        high_cert: Certificate,
+    ) -> SnapshotManifestMsg {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        SnapshotManifestMsg {
+            chain_len: self.chain.len() as u64,
+            chain_head: *self.chain.last().expect("chain contains genesis"),
+            state_root: self.state_root,
+            record_count: self.record_count,
+            total_bytes: payload.len() as u64,
+            chunk_bytes,
+            chunk_crcs: payload.chunks(chunk_bytes as usize).map(crc32).collect(),
+            view,
+            high_cert,
+        }
+    }
+
+    /// Cut chunk `index` out of `payload` (serving side).
+    pub fn chunk(
+        payload: &[u8],
+        state_root: Digest,
+        chunk_bytes: u32,
+        index: u32,
+    ) -> Option<SnapshotChunkMsg> {
+        let start = (index as usize).checked_mul(chunk_bytes as usize)?;
+        if start >= payload.len() {
+            return None;
+        }
+        let end = (start + chunk_bytes as usize).min(payload.len());
+        Some(SnapshotChunkMsg { state_root, index, data: payload[start..end].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> SnapshotImage {
+        let mut store = KvStore::with_records(1000);
+        for k in 0..200u64 {
+            store.put(k * 3, k * k + 1);
+        }
+        let chain: Vec<BlockId> =
+            std::iter::once(Block::genesis_id()).chain((1..40).map(BlockId::test)).collect();
+        SnapshotImage::capture(&store, &chain)
+    }
+
+    #[test]
+    fn payload_roundtrip_reproduces_root_and_chain() {
+        let img = sample_image();
+        let payload = img.payload();
+        let back = SnapshotImage::decode_payload(&payload).expect("decode");
+        assert_eq!(back, img);
+        assert_eq!(back.restore_store().state_root(), img.state_root);
+    }
+
+    #[test]
+    fn payload_is_deterministic_across_capture_orders() {
+        // Same observable state reached through different write orders
+        // must produce identical payload bytes (the agreement rule
+        // compares CRCs across peers).
+        let mut a = KvStore::with_records(100);
+        let mut b = KvStore::with_records(100);
+        a.put(1, 10);
+        a.put(2, 20);
+        b.put(2, 20);
+        b.put(1, 10);
+        let chain = vec![Block::genesis_id(), BlockId::test(1)];
+        assert_eq!(
+            SnapshotImage::capture(&a, &chain).payload(),
+            SnapshotImage::capture(&b, &chain).payload()
+        );
+    }
+
+    #[test]
+    fn from_checkpoint_matches_direct_capture() {
+        let mut store = KvStore::with_records(50);
+        store.put(7, 700);
+        let chain = vec![Block::genesis_id(), BlockId::test(1)];
+        let ckpt = Checkpoint::capture(9, View(3), None, &store, &chain);
+        assert_eq!(SnapshotImage::from_checkpoint(&ckpt), SnapshotImage::capture(&store, &chain));
+    }
+
+    #[test]
+    fn chunking_covers_payload_exactly() {
+        let img = sample_image();
+        let payload = img.payload();
+        let m = img.manifest(&payload, 100, View(1), Certificate::genesis());
+        assert!(m.well_formed());
+        assert_eq!(m.chunk_count() as u64, (payload.len() as u64).div_ceil(100));
+        let mut rebuilt = Vec::new();
+        for i in 0..m.chunk_count() {
+            let c = SnapshotImage::chunk(&payload, img.state_root, 100, i).expect("chunk");
+            assert_eq!(crc32(&c.data), m.chunk_crcs[i as usize], "chunk {i} CRC");
+            rebuilt.extend_from_slice(&c.data);
+        }
+        assert_eq!(rebuilt, payload);
+        assert!(SnapshotImage::chunk(&payload, img.state_root, 100, m.chunk_count()).is_none());
+    }
+
+    #[test]
+    fn hostile_payloads_rejected() {
+        let img = sample_image();
+
+        // Unsorted entries (a non-canonical serialization of the same
+        // state would break cross-peer CRC agreement silently).
+        let mut shuffled = img.clone();
+        shuffled.entries.swap(0, 1);
+        assert_eq!(
+            SnapshotImage::decode_payload(&shuffled.payload()),
+            Err(SyncError::Malformed("entries not strictly key-sorted"))
+        );
+
+        // Chain not anchored at genesis.
+        let mut anchorless = img.clone();
+        anchorless.chain[0] = BlockId::test(999);
+        assert_eq!(
+            SnapshotImage::decode_payload(&anchorless.payload()),
+            Err(SyncError::Malformed("chain does not start at genesis"))
+        );
+
+        // Truncation and trailing garbage fail cleanly.
+        let payload = img.payload();
+        assert!(SnapshotImage::decode_payload(&payload[..payload.len() - 1]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert_eq!(
+            SnapshotImage::decode_payload(&trailing),
+            Err(SyncError::Malformed("trailing bytes after image"))
+        );
+    }
+
+    #[test]
+    fn decoded_root_is_recomputed_not_trusted() {
+        // Tamper with one entry value post-encode: the decode succeeds
+        // (bytes are well-formed) but the recomputed root differs from
+        // the original image's — exactly the check the sync client runs
+        // against the agreed root.
+        let img = sample_image();
+        let mut tampered = img.clone();
+        tampered.entries[0].1 ^= 1;
+        let back = SnapshotImage::decode_payload(&tampered.payload()).expect("well-formed");
+        assert_ne!(back.state_root, img.state_root);
+    }
+}

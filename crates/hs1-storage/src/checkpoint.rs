@@ -162,6 +162,14 @@ impl Checkpoint {
         Ok(ckpt)
     }
 
+    /// `journal_seq` of the newest checkpoint *file* in `dir`, by name
+    /// alone — no read or validation. A cheap staleness probe for caches
+    /// (e.g. the snapshot server) that would otherwise re-decode a
+    /// multi-megabyte checkpoint just to learn nothing changed.
+    pub fn latest_seq(dir: &Path) -> Result<Option<u64>, StorageError> {
+        Ok(checkpoint_files(dir)?.last().map(|(seq, _)| *seq))
+    }
+
     /// Newest valid checkpoint in `dir`, skipping corrupt ones (newest
     /// first). `None` when no valid checkpoint exists.
     pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>, StorageError> {

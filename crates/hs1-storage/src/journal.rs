@@ -74,6 +74,19 @@ pub struct Replay {
     pub truncated_bytes: u64,
 }
 
+/// Summary of a streaming replay ([`Journal::open_streaming`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReplayStats {
+    /// Intact records streamed to the sink.
+    pub records: u64,
+    /// Bytes dropped from a torn tail (0 on a clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// Per-record sink for streaming replay. Returning an error aborts the
+/// open (fail-stop; used for the checkpoint-coverage continuity check).
+pub type ReplaySink<'a> = dyn FnMut(u64, JournalRecord) -> Result<(), StorageError> + 'a;
+
 /// The append half of the write-ahead log.
 #[derive(Debug)]
 pub struct Journal {
@@ -89,9 +102,32 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Open (or create) the journal in `dir`, replaying every intact
-    /// record and truncating a torn tail in place.
+    /// Open (or create) the journal in `dir`, collecting every intact
+    /// record into a [`Replay`] and truncating a torn tail in place.
+    ///
+    /// Prefer [`Journal::open_streaming`] when the records are folded and
+    /// discarded (recovery): collecting a long journal into a `Vec` first
+    /// costs O(history) memory for no benefit.
     pub fn open(dir: &Path, cfg: JournalConfig) -> Result<(Journal, Replay), StorageError> {
+        let mut replay = Replay::default();
+        let (journal, stats) = Self::open_streaming(dir, cfg, &mut |seq, rec| {
+            replay.records.push((seq, rec));
+            Ok(())
+        })?;
+        replay.truncated_bytes = stats.truncated_bytes;
+        Ok((journal, replay))
+    }
+
+    /// Open (or create) the journal in `dir`, streaming every intact
+    /// record through `sink` in append order (torn tails truncated in
+    /// place, exactly as [`Journal::open`]). Recovery of an
+    /// arbitrarily long journal folds each record as it is decoded and
+    /// never materializes the record list.
+    pub fn open_streaming(
+        dir: &Path,
+        cfg: JournalConfig,
+        sink: &mut ReplaySink<'_>,
+    ) -> Result<(Journal, ReplayStats), StorageError> {
         fs::create_dir_all(dir)?;
         let mut segments = segment_files(dir)?;
         if segments.is_empty() {
@@ -103,16 +139,19 @@ impl Journal {
             segments.push((0, path));
         }
 
-        let mut replay = Replay::default();
+        let mut stats = ReplayStats::default();
+        let mut in_active = 0u64;
         let last_idx = segments.len() - 1;
         for (idx, (start_seq, path)) in segments.iter().enumerate() {
             let is_last = idx == last_idx;
-            read_segment(path, *start_seq, is_last, &mut replay)?;
+            let emitted = read_segment(path, *start_seq, is_last, sink, &mut stats)?;
+            if is_last {
+                in_active = emitted;
+            }
         }
 
         let (active_start, active_path) = segments.last().expect("at least one segment").clone();
-        let in_active = replay.records.iter().filter(|(seq, _)| *seq >= active_start).count();
-        let next_seq = active_start + in_active as u64;
+        let next_seq = active_start + in_active;
         let file = OpenOptions::new().append(true).open(&active_path)?;
         let seg_bytes = file.metadata()?.len();
         let journal = Journal {
@@ -124,7 +163,7 @@ impl Journal {
             unsynced: 0,
             fsyncs: 0,
         };
-        Ok((journal, replay))
+        Ok((journal, stats))
     }
 
     /// Sequence number the next append will get.
@@ -234,15 +273,18 @@ pub(crate) fn segment_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageEr
     Ok(out)
 }
 
-/// Read one segment into `replay`. A torn tail (incomplete or
-/// CRC-invalid trailing frames) is truncated in place — but only in the
-/// last segment; anywhere else it is corruption.
+/// Read one segment, streaming each intact record into `sink`. A torn
+/// tail (incomplete or CRC-invalid trailing frames) is truncated in
+/// place — but only in the last segment; anywhere else it is corruption.
+/// Returns the number of records emitted from this segment. Memory is
+/// bounded by the segment size, never by total journal length.
 fn read_segment(
     path: &Path,
     start_seq: u64,
     is_last: bool,
-    replay: &mut Replay,
-) -> Result<(), StorageError> {
+    sink: &mut ReplaySink<'_>,
+    stats: &mut ReplayStats,
+) -> Result<u64, StorageError> {
     let mut file = File::open(path)?;
     let mut buf = Vec::new();
     file.read_to_end(&mut buf)?;
@@ -301,13 +343,14 @@ fn read_segment(
             // corruption, not a tear — always fatal.
             let record = JournalRecord::decode_exact(payload)
                 .map_err(|_| corrupt(frame_start, "undecodable record"))?;
-            replay.records.push((seq, record));
+            sink(seq, record)?;
+            stats.records += 1;
             seq += 1;
         }
     }
 
     if let Some(at) = truncate_at {
-        replay.truncated_bytes += (buf.len() - at) as u64;
+        stats.truncated_bytes += (buf.len() - at) as u64;
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(at as u64)?;
         if at < SEGMENT_MAGIC.len() {
@@ -319,7 +362,7 @@ fn read_segment(
         let f = OpenOptions::new().write(true).open(path)?;
         f.sync_data()?;
     }
-    Ok(())
+    Ok(seq - start_seq)
 }
 
 #[cfg(test)]

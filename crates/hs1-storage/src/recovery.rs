@@ -53,31 +53,34 @@ pub struct Recovered {
     pub info: RecoveryInfo,
 }
 
-/// Run recovery over `dir`: load the newest valid checkpoint, replay the
-/// journal (truncating a torn tail in place), and fold both into a
-/// [`RecoveredState`].
+/// Run recovery over `dir`: load the newest valid checkpoint, then
+/// *stream* the journal through the fold (truncating a torn tail in
+/// place) into a [`RecoveredState`].
+///
+/// Streaming matters for long journals: records covered by the
+/// checkpoint are skipped without ever being retained, and fold-only
+/// records (certs, views, rollbacks) are dropped as soon as they are
+/// applied. Peak memory is the active segment buffer plus what the
+/// recovered state itself must hold (post-checkpoint decided bodies and
+/// the live speculation stack) — not O(journal length).
 pub fn recover(dir: &Path, cfg: JournalConfig) -> Result<Recovered, StorageError> {
     std::fs::create_dir_all(dir)?;
     let checkpoint = Checkpoint::load_latest(dir)?;
-    let (journal, replay) = Journal::open(dir, cfg)?;
 
-    // Continuity check: the surviving journal must begin inside the
+    // Continuity rule: the surviving journal must begin inside the
     // checkpoint's coverage (or at seq 0 with no checkpoint). A gap means
     // pruned segments whose sole cover — the checkpoint — is gone or
     // corrupt; replaying past it would silently fabricate a shorter
-    // history, so fail stop instead.
+    // history, so fail stop instead. Checked on the first streamed record
+    // (and against `next_seq` below when the journal is empty).
     let covered_through = checkpoint.as_ref().map(|c| c.journal_seq + 1).unwrap_or(0);
-    let first_seq = replay.records.first().map(|(s, _)| *s).unwrap_or(journal.next_seq());
-    if first_seq > covered_through {
-        return Err(StorageError::Corrupt {
-            file: dir.display().to_string(),
-            offset: first_seq,
-            detail: "journal gap behind checkpoint coverage",
-        });
-    }
+    let gap_error = |at: u64| StorageError::Corrupt {
+        file: dir.display().to_string(),
+        offset: at,
+        detail: "journal gap behind checkpoint coverage",
+    };
 
     let mut info = RecoveryInfo {
-        truncated_bytes: replay.truncated_bytes,
         checkpoint_seq: checkpoint.as_ref().map(|c| c.journal_seq),
         ..RecoveryInfo::default()
     };
@@ -93,11 +96,18 @@ pub fn recover(dir: &Path, cfg: JournalConfig) -> Result<Recovered, StorageError
     let skip_upto = checkpoint.as_ref().map(|c| c.journal_seq);
 
     let mut spec: Vec<Arc<Block>> = Vec::new();
-    for (seq, rec) in replay.records {
+    let mut first_seq: Option<u64> = None;
+    let (journal, stats) = Journal::open_streaming(dir, cfg, &mut |seq, rec| {
+        if first_seq.is_none() {
+            first_seq = Some(seq);
+            if seq > covered_through {
+                return Err(gap_error(seq));
+            }
+        }
         if let Some(upto) = skip_upto {
             if seq <= upto {
                 info.skipped_records += 1;
-                continue;
+                return Ok(());
             }
         }
         info.replayed_records += 1;
@@ -128,7 +138,13 @@ pub fn recover(dir: &Path, cfg: JournalConfig) -> Result<Recovered, StorageError
             }
             JournalRecord::CheckpointMark { .. } => {}
         }
+        Ok(())
+    })?;
+    if first_seq.is_none() && journal.next_seq() > covered_through {
+        return Err(gap_error(journal.next_seq()));
     }
+
+    info.truncated_bytes = stats.truncated_bytes;
     info.speculated_blocks = spec.len() as u64;
     state.speculated = spec;
 

@@ -104,6 +104,36 @@ impl ReplicaStorage {
         &self.dir
     }
 
+    /// Newest valid checkpoint on disk, if any (the servable-snapshot
+    /// source for state sync).
+    pub fn latest_checkpoint(&self) -> Result<Option<Checkpoint>, StorageError> {
+        Checkpoint::load_latest(&self.dir)
+    }
+
+    /// Durably adopt a state-synced image: journal the consensus
+    /// position (view + certificate, with the same sync discipline the
+    /// live hooks use), then write the image as a checkpoint. A crash
+    /// after this recovers from the installed checkpoint instead of
+    /// re-syncing — and the journal gains the coverage record the
+    /// recovery continuity check demands.
+    ///
+    /// Call *after* feeding the image to `Replica::restore` and *before*
+    /// installing this storage as the engine's persistence (mirroring
+    /// the recovery wiring).
+    pub fn install_snapshot(
+        &mut self,
+        store: &KvStore,
+        chain: &[BlockId],
+        view: View,
+        high_cert: Option<Certificate>,
+    ) {
+        self.on_view(view);
+        if let Some(cert) = high_cert {
+            self.on_cert(&cert);
+        }
+        self.write_checkpoint(store, chain);
+    }
+
     /// Total fsyncs issued by the journal (metric).
     pub fn fsyncs(&self) -> u64 {
         self.journal.fsyncs
@@ -270,6 +300,35 @@ mod tests {
         for i in 1..=8u64 {
             assert_eq!(restored.get(i), Some(i));
         }
+    }
+
+    #[test]
+    fn install_snapshot_recovers_like_a_checkpoint() {
+        let tmp = TempDir::new("rs-install");
+        let cfg = StorageConfig { sync: SyncPolicy::Always, ..StorageConfig::default() };
+
+        // A synced image: 3 committed blocks' worth of state.
+        let mut store = KvStore::with_records(10);
+        store.put(1, 100);
+        store.put(2, 200);
+        let chain = vec![Block::genesis_id(), BlockId::test(1), BlockId::test(2)];
+        let root = store.state_root();
+
+        {
+            let (state, mut storage) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+            assert!(state.is_empty(), "fresh dir");
+            storage.install_snapshot(&store, &chain, View(7), Some(Certificate::genesis()));
+            assert_eq!(storage.checkpoints_written, 1);
+            // Storage stays usable for live journaling afterwards.
+            storage.on_view(View(8));
+        }
+
+        let (state, storage) = ReplicaStorage::open(tmp.path(), cfg).unwrap();
+        assert!(storage.recovery_info.checkpoint_seq.is_some());
+        assert_eq!(state.view, View(8));
+        assert_eq!(state.committed_ids, chain);
+        assert_eq!(state.committed_store.expect("installed store").state_root(), root);
+        assert!(state.decided.is_empty());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! | [`Message::Reject`] | slotted | Fig. 7 l.25 |
 //! | [`Message::Wish`] / [`Message::Tc`] | pacemaker | Fig. 3 |
 //! | [`Message::FetchBlock`] / [`Message::FetchResp`] | recovery | §4.2 "Recovery Mechanism" |
+//! | [`Message::SnapshotReq`] / [`Message::SnapshotManifest`] | state sync | §4.2 (snapshot catch-up) |
+//! | [`Message::SnapshotChunkReq`] / [`Message::SnapshotChunk`] | state sync | §4.2 (snapshot catch-up) |
 
 use std::sync::Arc;
 
@@ -19,7 +21,7 @@ use crate::cert::{Certificate, TimeoutCert};
 use crate::codec::{CodecError, Decode, Encode, Reader};
 use crate::ids::{Slot, View};
 use crate::tx::{Transaction, TxId};
-use hs1_crypto::{Digest, Signature};
+use hs1_crypto::{Digest, Sha256, Signature};
 
 /// Whether a client response reflects speculative or committed execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -113,6 +115,111 @@ pub struct WishMsg {
     pub share: Signature,
 }
 
+/// Ask a peer for a snapshot manifest (state sync). A replica whose
+/// committed chain has fallen far behind — or that starts on an empty
+/// disk — sends this instead of walking the gap one `FetchBlock` at a
+/// time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotReqMsg {
+    /// Committed chain length (genesis included) the requester already
+    /// has. Advisory (logging/prioritization): peers reply with their
+    /// manifest regardless, and the requester's gap threshold makes the
+    /// sync-vs-replay decision — not-ahead manifests are how it learns
+    /// quickly that replay is the better catch-up.
+    pub have_chain_len: u64,
+}
+
+/// Describes a servable snapshot derived from the peer's newest durable
+/// checkpoint. The *state identity* fields (everything hashed by
+/// [`SnapshotManifestMsg::state_key`]) are deterministic functions of the
+/// snapshotted chain position, so any two honest peers whose newest
+/// checkpoints cover the same position produce byte-identical values —
+/// which is what lets a joining replica demand `f + 1` matching manifests
+/// before trusting a state root it cannot recompute from certificates
+/// alone. The consensus-position fields (`view`, `high_cert`) are
+/// per-peer liveness hints, excluded from the agreement key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotManifestMsg {
+    /// Committed blocks covered (genesis included).
+    pub chain_len: u64,
+    /// Id of the last covered block.
+    pub chain_head: BlockId,
+    /// `state_root()` of the snapshotted committed store.
+    pub state_root: Digest,
+    /// Logical record count of the store.
+    pub record_count: u64,
+    /// Total bytes of the chunked image payload.
+    pub total_bytes: u64,
+    /// Chunk size the serving peer split the payload into.
+    pub chunk_bytes: u32,
+    /// CRC32 of each chunk's bytes, in order (the per-chunk integrity
+    /// index a downloader checks before accepting a chunk).
+    pub chunk_crcs: Vec<u32>,
+    /// Highest view the serving peer had entered at snapshot time.
+    pub view: View,
+    /// Highest certificate the serving peer had adopted at snapshot time.
+    pub high_cert: Certificate,
+}
+
+impl SnapshotManifestMsg {
+    /// Number of chunks the payload was split into.
+    pub fn chunk_count(&self) -> u32 {
+        self.chunk_crcs.len() as u32
+    }
+
+    /// Digest over the state-identity fields (everything except `view` /
+    /// `high_cert`). Two manifests with equal keys describe byte-identical
+    /// images; the joiner requires `f + 1` distinct peers to agree on this
+    /// key before downloading.
+    pub fn state_key(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"hs1-snapshot-manifest");
+        h.update_u64(self.chain_len);
+        h.update(&self.chain_head.0 .0);
+        h.update(&self.state_root.0);
+        h.update_u64(self.record_count);
+        h.update_u64(self.total_bytes);
+        h.update_u64(self.chunk_bytes as u64);
+        for crc in &self.chunk_crcs {
+            h.update(&crc.to_be_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Structural sanity independent of any peer state: chunk math adds
+    /// up and the advertised sizes are inside the transport limits.
+    pub fn well_formed(&self) -> bool {
+        const MAX_IMAGE_BYTES: u64 = 1 << 30;
+        if self.chain_len == 0 || self.chunk_bytes == 0 || self.total_bytes == 0 {
+            return false;
+        }
+        if self.total_bytes > MAX_IMAGE_BYTES {
+            return false;
+        }
+        let expect = self.total_bytes.div_ceil(self.chunk_bytes as u64);
+        self.chunk_crcs.len() as u64 == expect
+    }
+}
+
+/// Pull one chunk of a snapshot image (state sync; sequential pull keeps
+/// the joiner in control of pacing and peer rotation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotChunkReqMsg {
+    /// State root of the snapshot being downloaded (binds the request to
+    /// one image even across a server-side checkpoint refresh).
+    pub state_root: Digest,
+    pub index: u32,
+}
+
+/// One chunk of a snapshot image. `data` is verified against the
+/// manifest's `chunk_crcs[index]` before it is accepted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotChunkMsg {
+    pub state_root: Digest,
+    pub index: u32,
+    pub data: Vec<u8>,
+}
+
 /// The complete message enum.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
@@ -128,6 +235,10 @@ pub enum Message {
     Tc(TimeoutCert),
     FetchBlock { id: BlockId },
     FetchResp { block: Arc<Block> },
+    SnapshotReq(SnapshotReqMsg),
+    SnapshotManifest(SnapshotManifestMsg),
+    SnapshotChunkReq(SnapshotChunkReqMsg),
+    SnapshotChunk(SnapshotChunkMsg),
 }
 
 impl Message {
@@ -146,6 +257,10 @@ impl Message {
             Message::Tc(_) => "Tc",
             Message::FetchBlock { .. } => "FetchBlock",
             Message::FetchResp { .. } => "FetchResp",
+            Message::SnapshotReq(_) => "SnapshotReq",
+            Message::SnapshotManifest(_) => "SnapshotManifest",
+            Message::SnapshotChunkReq(_) => "SnapshotChunkReq",
+            Message::SnapshotChunk(_) => "SnapshotChunk",
         }
     }
 
@@ -172,6 +287,10 @@ impl Message {
             Message::Tc(tc) => 16 + tc.sigs.len() * 40,
             Message::FetchBlock { .. } => 40,
             Message::FetchResp { block } => block.modeled_wire_size(),
+            Message::SnapshotReq(_) => 16,
+            Message::SnapshotManifest(m) => 128 + m.chunk_crcs.len() * 4 + cert_size(&m.high_cert),
+            Message::SnapshotChunkReq(_) => 44,
+            Message::SnapshotChunk(c) => 44 + c.data.len(),
         }
     }
 }
@@ -347,6 +466,82 @@ impl Decode for WishMsg {
     }
 }
 
+impl Encode for SnapshotReqMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.have_chain_len.encode(out);
+    }
+}
+
+impl Decode for SnapshotReqMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotReqMsg { have_chain_len: u64::decode(r)? })
+    }
+}
+
+impl Encode for SnapshotManifestMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.chain_len.encode(out);
+        self.chain_head.encode(out);
+        self.state_root.encode(out);
+        self.record_count.encode(out);
+        self.total_bytes.encode(out);
+        self.chunk_bytes.encode(out);
+        self.chunk_crcs.encode(out);
+        self.view.encode(out);
+        self.high_cert.encode(out);
+    }
+}
+
+impl Decode for SnapshotManifestMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotManifestMsg {
+            chain_len: u64::decode(r)?,
+            chain_head: BlockId::decode(r)?,
+            state_root: Digest::decode(r)?,
+            record_count: u64::decode(r)?,
+            total_bytes: u64::decode(r)?,
+            chunk_bytes: u32::decode(r)?,
+            chunk_crcs: Vec::decode(r)?,
+            view: View::decode(r)?,
+            high_cert: Certificate::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SnapshotChunkReqMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.state_root.encode(out);
+        self.index.encode(out);
+    }
+}
+
+impl Decode for SnapshotChunkReqMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotChunkReqMsg { state_root: Digest::decode(r)?, index: u32::decode(r)? })
+    }
+}
+
+impl Encode for SnapshotChunkMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.state_root.encode(out);
+        self.index.encode(out);
+        (self.data.len() as u64).encode(out);
+        out.extend_from_slice(&self.data);
+    }
+}
+
+impl Decode for SnapshotChunkMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let state_root = Digest::decode(r)?;
+        let index = u32::decode(r)?;
+        // Chunks are raw bytes: decode the length prefix through the same
+        // sanity limit as every sequence, then take the slice wholesale
+        // (no per-element loop for megabyte payloads).
+        let len = r.seq_len("SnapshotChunk.data")?;
+        Ok(SnapshotChunkMsg { state_root, index, data: r.take(len)?.to_vec() })
+    }
+}
+
 impl Encode for Message {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -398,6 +593,22 @@ impl Encode for Message {
                 out.push(11);
                 block.encode(out);
             }
+            Message::SnapshotReq(m) => {
+                out.push(12);
+                m.encode(out);
+            }
+            Message::SnapshotManifest(m) => {
+                out.push(13);
+                m.encode(out);
+            }
+            Message::SnapshotChunkReq(m) => {
+                out.push(14);
+                m.encode(out);
+            }
+            Message::SnapshotChunk(m) => {
+                out.push(15);
+                m.encode(out);
+            }
         }
     }
 }
@@ -417,6 +628,10 @@ impl Decode for Message {
             9 => Ok(Message::Tc(TimeoutCert::decode(r)?)),
             10 => Ok(Message::FetchBlock { id: BlockId::decode(r)? }),
             11 => Ok(Message::FetchResp { block: Arc::<Block>::decode(r)? }),
+            12 => Ok(Message::SnapshotReq(SnapshotReqMsg::decode(r)?)),
+            13 => Ok(Message::SnapshotManifest(SnapshotManifestMsg::decode(r)?)),
+            14 => Ok(Message::SnapshotChunkReq(SnapshotChunkReqMsg::decode(r)?)),
+            15 => Ok(Message::SnapshotChunk(SnapshotChunkMsg::decode(r)?)),
             tag => Err(CodecError::BadTag { context: "Message", tag }),
         }
     }
@@ -507,6 +722,110 @@ mod tests {
         }));
         roundtrip(Message::FetchBlock { id: BlockId::test(3) });
         roundtrip(Message::FetchResp { block });
+        roundtrip(Message::SnapshotReq(SnapshotReqMsg { have_chain_len: 17 }));
+        roundtrip(Message::SnapshotManifest(some_manifest()));
+        roundtrip(Message::SnapshotChunkReq(SnapshotChunkReqMsg {
+            state_root: Digest([4u8; 32]),
+            index: 9,
+        }));
+        roundtrip(Message::SnapshotChunk(SnapshotChunkMsg {
+            state_root: Digest([4u8; 32]),
+            index: 9,
+            data: (0..200u16).map(|i| i as u8).collect(),
+        }));
+    }
+
+    fn some_manifest() -> SnapshotManifestMsg {
+        SnapshotManifestMsg {
+            chain_len: 12,
+            chain_head: BlockId::test(11),
+            state_root: Digest([6u8; 32]),
+            record_count: 1000,
+            total_bytes: 700,
+            chunk_bytes: 256,
+            chunk_crcs: vec![1, 2, 3],
+            view: View(13),
+            high_cert: some_cert(),
+        }
+    }
+
+    #[test]
+    fn snapshot_messages_reject_truncation() {
+        let msgs = [
+            Message::SnapshotReq(SnapshotReqMsg { have_chain_len: 17 }),
+            Message::SnapshotManifest(some_manifest()),
+            Message::SnapshotChunkReq(SnapshotChunkReqMsg {
+                state_root: Digest([4u8; 32]),
+                index: 9,
+            }),
+            Message::SnapshotChunk(SnapshotChunkMsg {
+                state_root: Digest([4u8; 32]),
+                index: 9,
+                data: vec![7u8; 64],
+            }),
+        ];
+        for m in msgs {
+            let bytes = m.encoded();
+            for cut in [1, 2, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    Message::decode_exact(&bytes[..cut]).is_err(),
+                    "{} truncated at {cut} must not decode",
+                    m.kind_name()
+                );
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            assert!(
+                matches!(Message::decode_exact(&trailing), Err(CodecError::TrailingBytes { .. })),
+                "{} with trailing bytes must not decode",
+                m.kind_name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_chunk_hostile_length_rejected() {
+        // A chunk advertising a multi-gigabyte payload must fail on the
+        // length prefix, not attempt the allocation.
+        let mut bytes = vec![15u8]; // SnapshotChunk tag
+        Digest([0u8; 32]).encode(&mut bytes);
+        0u32.encode(&mut bytes);
+        u64::MAX.encode(&mut bytes);
+        assert!(matches!(Message::decode_exact(&bytes), Err(CodecError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn manifest_state_key_ignores_consensus_position() {
+        // Two honest peers at the same snapshot position may differ in
+        // pacemaker view / adopted certificate; agreement must still form.
+        let a = some_manifest();
+        let mut b = a.clone();
+        b.view = View(99);
+        b.high_cert = Certificate::genesis();
+        assert_eq!(a.state_key(), b.state_key());
+        // Any state-identity field difference breaks the key.
+        let mut c = a.clone();
+        c.chunk_crcs[1] ^= 1;
+        assert_ne!(a.state_key(), c.state_key());
+        let mut d = a.clone();
+        d.state_root = Digest([7u8; 32]);
+        assert_ne!(a.state_key(), d.state_key());
+    }
+
+    #[test]
+    fn manifest_well_formedness() {
+        let m = some_manifest();
+        assert!(m.well_formed());
+        assert_eq!(m.chunk_count(), 3);
+        let mut wrong_count = m.clone();
+        wrong_count.chunk_crcs.pop();
+        assert!(!wrong_count.well_formed());
+        let mut zero_chunk = m.clone();
+        zero_chunk.chunk_bytes = 0;
+        assert!(!zero_chunk.well_formed());
+        let mut huge = m.clone();
+        huge.total_bytes = u64::MAX;
+        assert!(!huge.well_formed());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use hs1_types::codec::{Decode, Encode};
 use hs1_types::ids::{ClientId, ReplicaId, Slot, View};
 use hs1_types::message::{
     Message, NewSlotMsg, NewViewMsg, PrepareMsg, ProposeMsg, RejectMsg, ReplyKind, ResponseMsg,
-    VoteInfo, VoteMsg, WishMsg,
+    SnapshotChunkMsg, SnapshotChunkReqMsg, SnapshotManifestMsg, SnapshotReqMsg, VoteInfo, VoteMsg,
+    WishMsg,
 };
 use hs1_types::rng::SplitMix64;
 use hs1_types::tx::{Transaction, TxId, TxOp};
@@ -124,8 +125,23 @@ fn arb_response(r: &mut SplitMix64) -> ResponseMsg {
     }
 }
 
-/// One random message of variant index `variant` (0..12), so sweeping the
-/// variant index guarantees coverage of every arm of [`Message`].
+fn arb_manifest(r: &mut SplitMix64) -> SnapshotManifestMsg {
+    SnapshotManifestMsg {
+        chain_len: r.next_u64(),
+        chain_head: arb_block_id(r),
+        state_root: arb_digest(r),
+        record_count: r.next_u64(),
+        total_bytes: r.next_u64(),
+        chunk_bytes: r.next_u64() as u32,
+        chunk_crcs: (0..r.next_range(6)).map(|_| r.next_u64() as u32).collect(),
+        view: View(r.next_u64()),
+        high_cert: arb_cert(r),
+    }
+}
+
+/// One random message of variant index `variant` (0..VARIANTS), so
+/// sweeping the variant index guarantees coverage of every arm of
+/// [`Message`].
 fn arb_message_of(variant: u64, r: &mut SplitMix64) -> Message {
     match variant {
         0 => Message::Request(arb_tx(r)),
@@ -155,11 +171,22 @@ fn arb_message_of(variant: u64, r: &mut SplitMix64) -> Message {
         8 => Message::Wish(WishMsg { view: View(r.next_u64()), share: arb_sig(r) }),
         9 => Message::Tc(TimeoutCert { view: View(r.next_u64()), sigs: arb_sigs(r, 4) }),
         10 => Message::FetchBlock { id: arb_block_id(r) },
-        _ => Message::FetchResp { block: arb_block(r) },
+        11 => Message::FetchResp { block: arb_block(r) },
+        12 => Message::SnapshotReq(SnapshotReqMsg { have_chain_len: r.next_u64() }),
+        13 => Message::SnapshotManifest(arb_manifest(r)),
+        14 => Message::SnapshotChunkReq(SnapshotChunkReqMsg {
+            state_root: arb_digest(r),
+            index: r.next_u64() as u32,
+        }),
+        _ => Message::SnapshotChunk(SnapshotChunkMsg {
+            state_root: arb_digest(r),
+            index: r.next_u64() as u32,
+            data: (0..r.next_range(600)).map(|_| r.next_u64() as u8).collect(),
+        }),
     }
 }
 
-const VARIANTS: u64 = 12;
+const VARIANTS: u64 = 16;
 
 fn arb_message(r: &mut SplitMix64) -> Message {
     let v = r.next_range(VARIANTS);

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Smoke-run every example under `cargo run --example` and fail on the
 # first non-zero exit. Used locally and by the CI `examples` job.
+#
+# Examples are auto-discovered from examples/*.rs, so adding a new
+# example file enrolls it in this gate with no script change — and a
+# deleted/renamed example can never linger here as a stale name.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PROFILE_FLAG="${1:---release}"
+
+# Without nullglob an empty examples/ would leave the literal pattern
+# "examples/*.rs" in the loop and turn the error below into a confusing
+# cargo failure.
+shopt -s nullglob
 
 examples=()
 for f in examples/*.rs; do

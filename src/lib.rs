@@ -9,6 +9,7 @@
 //! * [`workloads`] — YCSB and TPC-C generators ([`hs1_workloads`])
 //! * [`consensus`] — the protocol engines ([`hs1_core`])
 //! * [`storage`] — durable journal, checkpoints, crash recovery ([`hs1_storage`])
+//! * [`statesync`] — snapshot state transfer for fast catch-up ([`hs1_statesync`])
 //! * [`sim`] — deterministic discrete-event simulator ([`hs1_sim`])
 //! * [`net`] — real TCP transport ([`hs1_net`])
 //!
@@ -34,6 +35,7 @@ pub use hs1_crypto as crypto;
 pub use hs1_ledger as ledger;
 pub use hs1_net as net;
 pub use hs1_sim as sim;
+pub use hs1_statesync as statesync;
 pub use hs1_storage as storage;
 pub use hs1_types as types;
 pub use hs1_workloads as workloads;
