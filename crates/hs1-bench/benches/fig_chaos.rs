@@ -1,0 +1,50 @@
+//! Chaos degradation curve: throughput and latency vs per-link message
+//! loss (duplication and reordering riding along at half the drop cap),
+//! for the three HotStuff-1 engines and the HotStuff-2 baseline. The
+//! harness shows how gracefully each commit rule sheds load as the
+//! network decays — speculation needs `n − f` matching responses, so
+//! HotStuff-1's early-finality path feels loss first while the
+//! `f + 1`-committed fallback keeps finality moving.
+
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::chaos::{ChaosConfig, ChaosPlan};
+use hs1_sim::{ProtocolKind, Scenario};
+use hs1_types::SimDuration;
+
+fn main() {
+    let mut sink = FigureSink::new("fig_chaos", "throughput/latency vs link loss");
+    let protocols = [
+        ProtocolKind::HotStuff2,
+        ProtocolKind::HotStuff1Basic,
+        ProtocolKind::HotStuff1,
+        ProtocolKind::HotStuff1Slotted,
+    ];
+    for loss_pct in [0u32, 1, 2, 5, 10] {
+        let cfg = ChaosConfig {
+            drop_p: loss_pct as f64 / 100.0,
+            dup_p: loss_pct as f64 / 200.0,
+            reorder_p: loss_pct as f64 / 200.0,
+            reorder_delay: SimDuration::from_millis(5),
+            partitions: 0,
+            crashes: 0,
+            ..ChaosConfig::default()
+        };
+        for p in protocols {
+            let scenario =
+                standard(Scenario::new(p).replicas(4).batch_size(32).clients(64)).seed(7);
+            let plan = ChaosPlan::generate(7, &cfg, 4, scenario.chaos_horizon());
+            let report = scenario.chaos(plan).run();
+            sink.record(&format!("loss={loss_pct}% {}", p.name()), &report);
+        }
+    }
+    // One row with the full fault mix (partition + crash-restart) so the
+    // CSV also tracks recovery overhead run-over-run.
+    let full = ChaosConfig::default();
+    for p in protocols {
+        let scenario = standard(Scenario::new(p).replicas(4).batch_size(32).clients(64)).seed(11);
+        let plan = ChaosPlan::generate(11, &full, 4, scenario.chaos_horizon());
+        let report = scenario.chaos(plan).run();
+        sink.record(&format!("full-mix {}", p.name()), &report);
+    }
+    sink.finish();
+}

@@ -31,19 +31,17 @@ pub struct FigureSink {
 impl FigureSink {
     pub fn new(name: &'static str, title: &str) -> FigureSink {
         println!("=== {name}: {title} ===");
-        FigureSink { name, rows: vec![Report::csv_header().to_string()] }
+        // Data rows are prefixed with the sweep tag; the header must
+        // carry the same leading column or every field parses one off.
+        FigureSink { name, rows: vec![format!("sweep,{}", Report::csv_header())] }
     }
 
     /// Record a run: print the human row, log the CSV row tagged with the
-    /// sweep variable.
+    /// sweep variable. Exits non-zero on any invariant violation — bench
+    /// output must never scroll past a safety regression as advisory.
     pub fn record(&mut self, sweep: &str, report: &Report) {
         println!("  [{sweep:>24}] {}", report.row());
-        assert!(
-            report.invariants_ok(),
-            "{}: invariant violation in [{sweep}]: {:?}",
-            self.name,
-            report.invariant_violations
-        );
+        report.ensure_invariants(&format!("{} [{sweep}]", self.name));
         self.rows.push(format!("{sweep},{}", report.csv_row()));
     }
 

@@ -1,0 +1,201 @@
+//! `chaos_sweep` — the CI chaos gate.
+//!
+//! Sweep mode (default): run N seeded fault schedules (drops, duplicates,
+//! reordering, a partition/heal cycle, a crash-restart window) against
+//! the chosen protocols, checking the strengthened safety/liveness
+//! invariants after every run. On failure the schedule is shrunk to the
+//! minimal failing plan and the exact replay command is printed before
+//! exiting non-zero.
+//!
+//! ```text
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- --seeds 64
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
+//!     --replay 'hs1:v1;seed=7;n=4;...'        # byte-identical re-run
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
+//!     --seeds 4 --inject rollback             # prove the gate trips
+//! ```
+
+use hs1_chaos::{
+    parse_protocol, parse_replay, protocol_token, replay_command, sweep, ChaosCase, Inject,
+};
+use hs1_sim::chaos::ChaosConfig;
+use hs1_sim::ProtocolKind;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    sim_seconds: f64,
+    protocols: Vec<ProtocolKind>,
+    threshold: Option<u64>,
+    inject: Inject,
+    replay: Option<String>,
+    config: ChaosConfig,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_sweep [--seeds N] [--start K] [--sim-seconds F] \
+         [--protocols hs,hs2,hs1,basic,slotted] [--threshold BLOCKS] \
+         [--config default|lossy|events] [--inject none|halt|rollback] \
+         [--replay '<protocol>:<plan-spec>'] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 16,
+        start: 0,
+        sim_seconds: 1.0,
+        protocols: ProtocolKind::ALL.to_vec(),
+        threshold: None,
+        inject: Inject::None,
+        replay: None,
+        config: ChaosConfig::default(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--start" => args.start = val("--start").parse().unwrap_or_else(|_| usage()),
+            "--sim-seconds" => {
+                args.sim_seconds = val("--sim-seconds").parse().unwrap_or_else(|_| usage())
+            }
+            "--protocols" => {
+                args.protocols = val("--protocols")
+                    .split(',')
+                    .map(|t| parse_protocol(t).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--threshold" => {
+                args.threshold = Some(val("--threshold").parse().unwrap_or_else(|_| usage()))
+            }
+            "--inject" => args.inject = Inject::parse(&val("--inject")).unwrap_or_else(|| usage()),
+            "--replay" => args.replay = Some(val("--replay")),
+            "--config" => {
+                args.config = match val("--config").as_str() {
+                    "default" => ChaosConfig::default(),
+                    "lossy" => ChaosConfig::lossy_only(),
+                    "events" => ChaosConfig::events_only(),
+                    _ => usage(),
+                }
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.protocols.is_empty() || args.seeds == 0 {
+        usage();
+    }
+    args
+}
+
+fn replay(args: &Args, spec: &str) -> ! {
+    let (protocol, plan) = match parse_replay(spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad --replay spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let case = ChaosCase {
+        protocol,
+        plan,
+        sim_seconds: args.sim_seconds,
+        threshold: args.threshold,
+        inject: args.inject,
+    };
+    println!("replaying {} under {}", case.plan, case.protocol.name());
+    let report = case.run();
+    println!("  {}", report.row());
+    println!(
+        "  chaos: dropped={} dup={} reordered={} partitions={} crashes={} restarts={} \
+         snapshot-syncs={} replays={}",
+        report.chaos.dropped_msgs,
+        report.chaos.duplicated_msgs,
+        report.chaos.reordered_msgs,
+        report.chaos.partitions,
+        report.chaos.crashes,
+        report.chaos.restarts,
+        report.chaos.snapshot_syncs,
+        report.chaos.replay_catchups,
+    );
+    println!("  views: {:?}  chain-lens: {:?}", report.replica_views, report.replica_chain_lens);
+    println!("  fingerprint: {:#018x}", report.fingerprint);
+    report.ensure_invariants("replay");
+    println!("  invariants hold");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(spec) = &args.replay {
+        replay(&args, spec);
+    }
+
+    let cells = args.seeds * args.protocols.len() as u64;
+    println!(
+        "chaos sweep: {} seeds x {} protocols = {cells} runs ({}s sim each, n=4)",
+        args.seeds,
+        args.protocols.len(),
+        args.sim_seconds,
+    );
+    let started = std::time::Instant::now();
+    let quiet = args.quiet;
+    let result = sweep(
+        &args.protocols,
+        args.start,
+        args.seeds,
+        &args.config,
+        4,
+        args.sim_seconds,
+        args.threshold,
+        args.inject,
+        |case, report| {
+            if !quiet {
+                println!(
+                    "  seed={:<4} {:<10} tput={:>8.0} tx/s dropped={:<5} dup={:<4} crashes={} \
+                     snap={} ok={}",
+                    case.plan.seed,
+                    protocol_token(case.protocol),
+                    report.throughput_tps,
+                    report.chaos.dropped_msgs,
+                    report.chaos.duplicated_msgs,
+                    report.chaos.crashes,
+                    report.chaos.snapshot_syncs,
+                    report.invariants_ok(),
+                );
+            }
+        },
+    );
+    match result {
+        Ok(passed) => {
+            println!(
+                "all {passed} chaos runs passed in {:.1}s wall",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(failure) => {
+            eprintln!("\nCHAOS FAILURE under {}:", failure.case.protocol.name());
+            for v in &failure.report.invariant_violations {
+                eprintln!("  - {v}");
+            }
+            eprintln!("  seed     : {}", failure.case.plan.seed);
+            eprintln!("  plan     : {}", failure.case.plan);
+            eprintln!("  shrunk   : {} ({} runs)", failure.minimized.plan, failure.shrink_runs);
+            eprintln!("  fingerprint: {:#018x}", failure.report.fingerprint);
+            eprintln!("\nreplay the original:\n  {}", replay_command(&failure.case));
+            eprintln!("\nreplay the minimized schedule:\n  {}", replay_command(&failure.minimized));
+            std::process::exit(1);
+        }
+    }
+}

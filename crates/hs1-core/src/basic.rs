@@ -76,6 +76,13 @@ pub struct BasicEngine {
     nv_buf: HashMap<u64, Vec<(ReplicaId, NewViewMsg)>>,
     /// Commit target stalled on a missing ancestor (retried after fetch).
     retry_commit: Option<(BlockId, ReplicaId)>,
+    /// Proposals parked on a missing justify block. Without this a single
+    /// lost proposal cascades: every later proposal justifies a body the
+    /// replica never got, so it silently drops them all and stops voting
+    /// — enough degraded replicas and the deployment loses quorum.
+    pending_props: Vec<(ReplicaId, ProposeMsg)>,
+    /// Prepare certificates parked on their missing block body.
+    pending_preps: Vec<(ReplicaId, PrepareMsg)>,
     fetching: FetchTracker,
 }
 
@@ -107,7 +114,15 @@ impl BasicEngine {
             tally: None,
             nv_buf: HashMap::new(),
             retry_commit: None,
+            pending_props: Vec::new(),
+            pending_preps: Vec::new(),
             fetching: FetchTracker::new(),
+        }
+    }
+
+    fn request_block(&mut self, id: BlockId, from: ReplicaId, now: SimTime, out: &mut Vec<Action>) {
+        if self.fetching.should_request(id, now, self.core.cfg.view_timer) {
+            out.push(Action::Send { to: from, msg: Message::FetchBlock { id } });
         }
     }
 
@@ -122,9 +137,7 @@ impl BasicEngine {
         out: &mut Vec<Action>,
     ) {
         if let Err(missing) = self.core.commit_chain(target, out) {
-            if self.fetching.should_request(missing, now, self.core.cfg.view_timer) {
-                out.push(Action::Send { to: source, msg: Message::FetchBlock { id: missing } });
-            }
+            self.request_block(missing, source, now, out);
             self.retry_commit = Some((target, source));
         }
     }
@@ -164,6 +177,11 @@ impl BasicEngine {
             self.core.prune(2048);
             let v = self.view.0;
             self.nv_buf.retain(|&dv, _| dv >= v);
+            // Parked messages whose fetch never resolved (dead or
+            // Byzantine peer) are view-stale by now; drop them so the
+            // queues stay bounded on long lossy runs.
+            self.pending_props.retain(|(_, p)| p.block.view.0 >= v);
+            self.pending_preps.retain(|(_, p)| p.cert.view.0 >= v);
         }
         if self.is_leader() {
             self.refresh_tally();
@@ -176,7 +194,15 @@ impl BasicEngine {
         self.tally = None;
         match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
             PmOutcome::Enter => self.enter_view(now, out),
-            PmOutcome::AwaitTc => self.awaiting_tc = true,
+            PmOutcome::AwaitTc => {
+                self.awaiting_tc = true;
+                // Loss recovery: if the Wish (or the TC it produces) is
+                // dropped, this timer re-wishes instead of parking forever.
+                out.push(Action::SetTimer {
+                    timer: Timer::ViewTimeout(self.view),
+                    at: now + self.core.cfg.view_timer,
+                });
+            }
         }
     }
 
@@ -277,7 +303,15 @@ impl BasicEngine {
         if b.proposer != self.core.cfg.leader_of(pv) || from != b.proposer {
             return;
         }
-        if !self.core.cert_valid(&b.justify) || !self.core.has_block(b.justify.block) {
+        if !self.core.cert_valid(&b.justify) {
+            return;
+        }
+        if !self.core.has_block(b.justify.block) {
+            // Fetch the missing ancestry instead of dropping the proposal
+            // — a silently dropped proposal starves this replica of every
+            // later body and permanently disenfranchises it.
+            self.request_block(b.justify.block, from, now, out);
+            self.pending_props.push((from, msg));
             return;
         }
         self.core.insert_block(b.clone());
@@ -354,7 +388,14 @@ impl BasicEngine {
         if cert.kind != CertKind::Quorum || !self.core.cert_valid(&cert) {
             return;
         }
-        let Some(b) = self.core.block(cert.block).cloned() else { return };
+        let Some(b) = self.core.block(cert.block).cloned() else {
+            // The certified body never arrived (lost Propose): fetch it
+            // and park the Prepare, or this replica cannot speculate,
+            // commit-vote, or follow the prefix-commit rule this view.
+            self.request_block(cert.block, from, now, out);
+            self.pending_preps.push((from, PrepareMsg { cert }));
+            return;
+        };
         if pv > self.view {
             self.view = pv;
             self.tally = None;
@@ -477,6 +518,16 @@ impl Replica for BasicEngine {
             {
                 self.fetching.resolved(block.id());
                 self.core.insert_block(block);
+                // Re-run everything parked on missing ancestry (stale
+                // entries drop out through the handlers' own view checks).
+                let parked = std::mem::take(&mut self.pending_props);
+                for (src, prop) in parked {
+                    self.on_propose(src, prop, now, out);
+                }
+                let parked = std::mem::take(&mut self.pending_preps);
+                for (src, prep) in parked {
+                    self.on_prepare(src, prep, now, out);
+                }
                 if let Some((target, source)) = self.retry_commit.take() {
                     self.commit_or_fetch(target, source, now, out);
                 }
@@ -492,7 +543,17 @@ impl Replica for BasicEngine {
         }
         match timer {
             Timer::ViewTimeout(v) => {
-                if v != self.view || self.awaiting_tc {
+                if v == self.view && self.awaiting_tc {
+                    // Parked at an epoch boundary: retry the Wish (ours or
+                    // the TC may have been lost) and keep the timer armed.
+                    self.pm.rewish(&self.core.kp.clone(), out);
+                    out.push(Action::SetTimer {
+                        timer: Timer::ViewTimeout(v),
+                        at: now + self.core.cfg.view_timer,
+                    });
+                    return;
+                }
+                if v != self.view {
                     return;
                 }
                 let next = self.view.next();

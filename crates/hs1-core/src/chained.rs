@@ -183,6 +183,11 @@ impl ChainedEngine {
             self.core.prune(2048);
             let v = self.view.0;
             self.nv_buf.retain(|&dv, _| dv >= v);
+            // Parked messages whose fetch never resolved (dead or
+            // Byzantine peer) are view-stale by now; drop them so the
+            // queues stay bounded on long lossy runs.
+            self.pending_props.retain(|(_, p)| p.block.view.0 >= v);
+            self.pending_certs.retain(|(c, _)| c.view.0 >= v);
         }
         if self.is_leader() {
             self.refresh_tally();
@@ -195,7 +200,15 @@ impl ChainedEngine {
         self.tally = None;
         match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
             PmOutcome::Enter => self.enter_view(now, out),
-            PmOutcome::AwaitTc => self.awaiting_tc = true,
+            PmOutcome::AwaitTc => {
+                self.awaiting_tc = true;
+                // Loss recovery: if the Wish (or the TC it produces) is
+                // dropped, this timer re-wishes instead of parking forever.
+                out.push(Action::SetTimer {
+                    timer: Timer::ViewTimeout(self.view),
+                    at: now + self.core.cfg.view_timer,
+                });
+            }
         }
     }
 
@@ -241,17 +254,21 @@ impl ChainedEngine {
             }
         }
         // Form P(v−1) as soon as a quorum of shares agrees on one block
-        // (Fig. 4 lines 6–7).
+        // (Fig. 4 lines 6–7). Candidate choice is made deterministic by a
+        // block-id tie-break (HashMap order is not replay-stable).
         let Some(prev) = prev else { return };
-        let formed: Option<Certificate> = t.votes.iter().find_map(|(block, shares)| {
-            (shares.len() >= quorum).then(|| Certificate {
+        let formed: Option<Certificate> = t
+            .votes
+            .iter()
+            .filter(|(_, shares)| shares.len() >= quorum)
+            .max_by_key(|(block, _)| block.0 .0)
+            .map(|(block, shares)| Certificate {
                 kind: CertKind::Quorum,
                 view: prev,
                 slot: Slot::FIRST,
                 block: *block,
                 sigs: shares.clone(),
-            })
-        });
+            });
         if let Some(cert) = formed {
             if cert.rank() > self.high_cert.rank() && self.core.has_block(cert.block) {
                 self.set_high_cert(cert);
@@ -308,8 +325,12 @@ impl ChainedEngine {
     fn stale_cert(&self) -> Certificate {
         let mut best = Certificate::genesis();
         let limit = self.view.0.saturating_sub(2);
+        // Deterministic tie-break on the block id: the scan walks a
+        // HashMap, whose order must not leak into replayable behavior.
         let mut consider = |c: &Certificate| {
-            if c.view.0 <= limit && c.rank() > best.rank() && self.core.has_block(c.block) {
+            let better = c.rank() > best.rank()
+                || (c.rank() == best.rank() && c.block.0 .0 > best.block.0 .0);
+            if c.view.0 <= limit && better && self.core.has_block(c.block) {
                 best = c.clone();
             }
         };
@@ -643,7 +664,17 @@ impl Replica for ChainedEngine {
         }
         match timer {
             Timer::ViewTimeout(v) => {
-                if v != self.view || self.awaiting_tc {
+                if v == self.view && self.awaiting_tc {
+                    // Parked at an epoch boundary: retry the Wish (ours or
+                    // the TC may have been lost) and keep the timer armed.
+                    self.pm.rewish(&self.core.kp.clone(), out);
+                    out.push(Action::SetTimer {
+                        timer: Timer::ViewTimeout(v),
+                        at: now + self.core.cfg.view_timer,
+                    });
+                    return;
+                }
+                if v != self.view {
                     return;
                 }
                 // Fig. 4 lines 20–22.

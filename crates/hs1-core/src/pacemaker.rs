@@ -40,6 +40,10 @@ pub struct Pacemaker {
     /// Epoch-start views whose TC we already formed/broadcast (leader) or
     /// processed (everyone).
     tc_done: HashSet<u64>,
+    /// Formed/received TCs, kept so late (or retried) Wishes can be
+    /// answered directly — a replica whose TC broadcast was lost must be
+    /// able to recover by re-wishing.
+    formed: HashMap<u64, TimeoutCert>,
     /// Epoch-start view we are waiting on (sent a Wish, not yet entered).
     awaiting: Option<View>,
 }
@@ -57,6 +61,7 @@ impl Pacemaker {
             start_times,
             wishes: HashMap::new(),
             tc_done: HashSet::new(),
+            formed: HashMap::new(),
             awaiting: None,
         }
     }
@@ -98,6 +103,22 @@ impl Pacemaker {
         PmOutcome::AwaitTc
     }
 
+    /// Re-send the Wish for the awaited epoch (lossy-network retry: the
+    /// original Wish, or the TC it should have produced, may have been
+    /// dropped — without a retry the replica parks at the epoch boundary
+    /// forever and enough parked replicas halt the deployment). Engines
+    /// call this from a retry timer armed while `awaiting_tc`.
+    pub fn rewish(&mut self, kp: &KeyPair, out: &mut Vec<Action>) {
+        let Some(next) = self.awaiting else { return };
+        let share = kp.sign(domains::WISH, &TimeoutCert::signing_bytes(next));
+        for leader in self.cfg.epoch_leaders(next) {
+            out.push(Action::Send {
+                to: leader,
+                msg: Message::Wish(WishMsg { view: next, share }),
+            });
+        }
+    }
+
     /// Leader role: collect a Wish share; broadcast the TC at quorum
     /// (Fig. 3 lines 11–13).
     pub fn on_wish(
@@ -108,10 +129,16 @@ impl Pacemaker {
         out: &mut Vec<Action>,
     ) {
         let v = msg.view;
-        if !self.cfg.is_epoch_start(v)
-            || !self.cfg.epoch_leaders(v).contains(&self.me)
-            || self.tc_done.contains(&v.0)
-        {
+        if !self.cfg.is_epoch_start(v) || !self.cfg.epoch_leaders(v).contains(&self.me) {
+            return;
+        }
+        if self.tc_done.contains(&v.0) {
+            // The TC exists; this Wish is a loss-recovery retry (or just
+            // late). Answer the sender directly instead of ignoring it,
+            // or a replica whose TC was dropped stays parked forever.
+            if let Some(tc) = self.formed.get(&v.0) {
+                out.push(Action::Send { to: from, msg: Message::Tc(tc.clone()) });
+            }
             return;
         }
         if !registry.verify(from.0, domains::WISH, &TimeoutCert::signing_bytes(v), &msg.share) {
@@ -125,6 +152,7 @@ impl Pacemaker {
         if shares.len() >= self.cfg.quorum() {
             let tc = TimeoutCert { view: v, sigs: shares.clone() };
             self.tc_done.insert(v.0);
+            self.formed.insert(v.0, tc.clone());
             out.push(Action::Broadcast { msg: Message::Tc(tc) });
         }
     }
@@ -157,6 +185,7 @@ impl Pacemaker {
             self.start_times.insert(v.0 + k, now + self.cfg.view_timer * k);
         }
         self.tc_done.insert(v.0);
+        self.formed.insert(v.0, tc.clone());
         self.release_if_awaiting(v)
     }
 
@@ -189,6 +218,7 @@ impl Pacemaker {
         self.start_times.retain(|&v, _| v >= cut);
         self.wishes.retain(|&v, _| v >= cut);
         self.tc_done.retain(|&v| v >= cut);
+        self.formed.retain(|&v, _| v >= cut);
     }
 }
 

@@ -216,6 +216,9 @@ impl SlottedEngine {
             self.nv_buf.retain(|&dv, _| dv >= v);
             let blocks = &self.core.blocks;
             self.cert_children.retain(|_, child| blocks.contains_key(child));
+            // Parked proposals whose fetch never resolved are view-stale
+            // by now; drop them so the queue stays bounded on lossy runs.
+            self.pending_props.retain(|(_, p)| p.block.view.0 >= v);
         }
         if self.is_leader() {
             self.refresh_tally();
@@ -229,7 +232,15 @@ impl SlottedEngine {
         self.tally = None;
         match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
             PmOutcome::Enter => self.enter_view(now, out),
-            PmOutcome::AwaitTc => self.awaiting_tc = true,
+            PmOutcome::AwaitTc => {
+                self.awaiting_tc = true;
+                // Loss recovery: if the Wish (or the TC it produces) is
+                // dropped, this timer re-wishes instead of parking forever.
+                out.push(Action::SetTimer {
+                    timer: Timer::ViewTimeout(self.view),
+                    at: now + self.core.cfg.view_timer,
+                });
+            }
         }
     }
 
@@ -306,16 +317,21 @@ impl SlottedEngine {
             return;
         }
 
-        // Condition (1): a New-View certificate can be formed.
-        let formed: Option<Certificate> = t.nv_votes.iter().find_map(|((v, s, b), shares)| {
-            (shares.len() >= quorum).then(|| Certificate {
+        // Condition (1): a New-View certificate can be formed. Pick the
+        // candidate deterministically (HashMap iteration order is not
+        // replay-stable) — highest rank, block id as tie-break.
+        let formed: Option<Certificate> = t
+            .nv_votes
+            .iter()
+            .filter(|(_, shares)| shares.len() >= quorum)
+            .max_by_key(|((v, s, b), _)| (v.0, s.0, b.0 .0))
+            .map(|((v, s, b), shares)| Certificate {
                 kind: CertKind::NewView { formed_in: view },
                 view: *v,
                 slot: *s,
                 block: *b,
                 sigs: shares.clone(),
-            })
-        });
+            });
 
         let senders = t.nv_senders.len();
         // Condition (4): with k = n − senders unheard, no position above
@@ -464,8 +480,12 @@ impl SlottedEngine {
     fn stale_cert(&self) -> Certificate {
         let mut best = Certificate::genesis();
         let limit = self.view.0.saturating_sub(2);
+        // Deterministic tie-break on the block id: the scan walks a
+        // HashMap, whose order must not leak into replayable behavior.
         let mut consider = |c: &Certificate| {
-            if c.view.0 <= limit && c.rank() > best.rank() && self.core.has_block(c.block) {
+            let better = c.rank() > best.rank()
+                || (c.rank() == best.rank() && c.block.0 .0 > best.block.0 .0);
+            if c.view.0 <= limit && better && self.core.has_block(c.block) {
                 best = c.clone();
             }
         };
@@ -835,7 +855,17 @@ impl Replica for SlottedEngine {
         }
         match timer {
             Timer::ViewTimeout(v) => {
-                if v != self.view || self.awaiting_tc {
+                if v == self.view && self.awaiting_tc {
+                    // Parked at an epoch boundary: retry the Wish (ours or
+                    // the TC may have been lost) and keep the timer armed.
+                    self.pm.rewish(&self.core.kp.clone(), out);
+                    out.push(Action::SetTimer {
+                        timer: Timer::ViewTimeout(v),
+                        at: now + self.core.cfg.view_timer,
+                    });
+                    return;
+                }
+                if v != self.view {
                     return;
                 }
                 // Fig. 7 lines 27–31: NEW_VIEW share over the highest

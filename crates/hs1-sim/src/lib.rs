@@ -20,7 +20,15 @@
 //! arrival times at the clients, and finality is determined exactly per
 //! the paper's quorum rules (`n − f` matching speculative responses for
 //! HotStuff-1, `f + 1` committed responses for the baselines).
+//!
+//! The [`chaos`] module layers seeded fault schedules on top — per-link
+//! message loss/duplication/reordering, partitions, and crash-restart
+//! through the real `hs1-storage` recovery path — with every run
+//! replayable byte-for-byte from its seed (see the `hs1-chaos` crate for
+//! the sweep/shrink/replay tooling and the README "Chaos harness"
+//! section for the workflow).
 
+pub mod chaos;
 pub mod cost;
 pub mod net;
 pub mod oracle;
@@ -29,7 +37,9 @@ pub mod runner;
 pub mod scenario;
 pub mod statesync;
 
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosEventKind, ChaosPlan, LinkAxis, LinkFault};
 pub use cost::{CostModel, DiskModel};
 pub use hs1_types::ProtocolKind;
+pub use runner::ChaosStats;
 pub use scenario::{Report, Scenario, WorkloadKind};
 pub use statesync::CatchupModel;

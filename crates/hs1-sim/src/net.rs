@@ -1,8 +1,25 @@
 //! Network model: per-pair latency (from region placement), per-replica
-//! injected delays, and deterministic jitter.
+//! injected delays, deterministic jitter — and, when a chaos plan is
+//! installed, seeded per-link loss/duplication/reordering plus
+//! partitions (see [`crate::chaos`]).
 
+use crate::chaos::{ChaosPlan, LinkFault};
 use crate::regions::{one_way, Region};
 use hs1_types::{ReplicaId, SimDuration, SplitMix64};
+
+/// What the network does with one replica→replica message: deliver
+/// `copies` copies (0 = lost), each with an extra chaos-induced delay on
+/// top of the modeled latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDelivery {
+    pub copies: u8,
+    pub extra: [SimDuration; 2],
+}
+
+impl LinkDelivery {
+    const CLEAN: LinkDelivery = LinkDelivery { copies: 1, extra: [SimDuration::ZERO; 2] };
+    const DROPPED: LinkDelivery = LinkDelivery { copies: 0, extra: [SimDuration::ZERO; 2] };
+}
 
 /// Latency and delay-injection model for a deployment.
 #[derive(Clone, Debug)]
@@ -15,6 +32,13 @@ pub struct NetModel {
     /// (Fig. 9 delay-injection experiments).
     injected: Vec<SimDuration>,
     jitter_frac: f64,
+    /// Per-link fault probabilities (installed by a chaos plan; `None`
+    /// keeps the rng stream of fault-free runs untouched).
+    link_faults: Option<Vec<Vec<LinkFault>>>,
+    /// Max extra delay a reordered copy picks up.
+    reorder_delay: SimDuration,
+    /// Active partition: membership of the isolated side, if any.
+    partition_side: Option<Vec<bool>>,
 }
 
 impl NetModel {
@@ -33,6 +57,9 @@ impl NetModel {
             client_latency,
             injected: vec![SimDuration::ZERO; n],
             jitter_frac: 0.05,
+            link_faults: None,
+            reorder_delay: SimDuration::ZERO,
+            partition_side: None,
         }
     }
 
@@ -68,6 +95,75 @@ impl NetModel {
     pub fn client_delay(&self, replica: ReplicaId, rng: &mut SplitMix64) -> SimDuration {
         let base = self.client_latency[replica.0 as usize];
         self.jittered(base, rng) + self.injected[replica.0 as usize]
+    }
+
+    /// Install a chaos plan's per-link fault matrix.
+    pub fn install_chaos(&mut self, plan: &ChaosPlan) {
+        assert_eq!(plan.n, self.n(), "chaos plan derived for a different deployment size");
+        self.link_faults = Some(plan.links.clone());
+        self.reorder_delay = plan.reorder_delay;
+    }
+
+    /// Cut every link between `side` and its complement.
+    pub fn set_partition(&mut self, side: &[u32]) {
+        let mut members = vec![false; self.n()];
+        for &r in side {
+            if let Some(m) = members.get_mut(r as usize) {
+                *m = true;
+            }
+        }
+        self.partition_side = Some(members);
+    }
+
+    /// Remove the active partition.
+    pub fn heal_partition(&mut self) {
+        self.partition_side = None;
+    }
+
+    pub fn partition_active(&self) -> bool {
+        self.partition_side.is_some()
+    }
+
+    /// Chaos verdict for one replica→replica message. Draws from `rng`
+    /// only when link faults are installed, so fault-free runs keep their
+    /// historical rng stream (and their calibrated figures) bit-for-bit.
+    /// Partition checks are deterministic (no draw); loopback is never
+    /// faulted.
+    pub fn link_delivery(
+        &self,
+        from: ReplicaId,
+        to: ReplicaId,
+        rng: &mut SplitMix64,
+    ) -> LinkDelivery {
+        if from == to {
+            return LinkDelivery::CLEAN;
+        }
+        if let Some(side) = &self.partition_side {
+            if side[from.0 as usize] != side[to.0 as usize] {
+                return LinkDelivery::DROPPED;
+            }
+        }
+        let Some(faults) = &self.link_faults else {
+            return LinkDelivery::CLEAN;
+        };
+        let l = faults[from.0 as usize][to.0 as usize];
+        // Fixed draw order (drop, dup, then reorder per copy) keeps the
+        // stream replayable: the same plan always consumes the same draws.
+        if l.drop > 0.0 && rng.chance(l.drop) {
+            return LinkDelivery::DROPPED;
+        }
+        let mut out = LinkDelivery::CLEAN;
+        if l.dup > 0.0 && rng.chance(l.dup) {
+            out.copies = 2;
+        }
+        if l.reorder > 0.0 && self.reorder_delay > SimDuration::ZERO {
+            for i in 0..out.copies as usize {
+                if rng.chance(l.reorder) {
+                    out.extra[i] = SimDuration::from_nanos(rng.next_range(self.reorder_delay.0));
+                }
+            }
+        }
+        out
     }
 
     fn jittered(&self, base: SimDuration, rng: &mut SplitMix64) -> SimDuration {
@@ -113,6 +209,63 @@ mod tests {
         assert!(
             m.client_delay(ReplicaId(1), &mut rng) > m.client_delay(ReplicaId(0), &mut rng) * 10
         );
+    }
+
+    #[test]
+    fn partition_cuts_cross_links_only() {
+        let mut m = NetModel::single_region(4);
+        let mut rng = SplitMix64::new(3);
+        m.set_partition(&[0, 2]);
+        assert!(m.partition_active());
+        let cross = m.link_delivery(ReplicaId(0), ReplicaId(1), &mut rng);
+        assert_eq!(cross.copies, 0, "cross-partition messages are lost");
+        let same_side = m.link_delivery(ReplicaId(0), ReplicaId(2), &mut rng);
+        assert_eq!(same_side.copies, 1);
+        let other_side = m.link_delivery(ReplicaId(1), ReplicaId(3), &mut rng);
+        assert_eq!(other_side.copies, 1);
+        m.heal_partition();
+        let healed = m.link_delivery(ReplicaId(0), ReplicaId(1), &mut rng);
+        assert_eq!(healed.copies, 1);
+    }
+
+    #[test]
+    fn link_faults_drop_dup_and_reorder() {
+        use crate::chaos::{ChaosConfig, ChaosPlan};
+        let mut m = NetModel::single_region(4);
+        let cfg = ChaosConfig { drop_p: 0.5, dup_p: 0.5, reorder_p: 0.5, ..ChaosConfig::default() };
+        let plan = ChaosPlan::generate(9, &cfg, 4, hs1_types::SimTime(1_000_000_000));
+        m.install_chaos(&plan);
+        let mut rng = SplitMix64::new(5);
+        let (mut drops, mut dups, mut reorders) = (0, 0, 0);
+        for _ in 0..4000 {
+            let d = m.link_delivery(ReplicaId(0), ReplicaId(1), &mut rng);
+            match d.copies {
+                0 => drops += 1,
+                2 => dups += 1,
+                _ => {}
+            }
+            if d.extra.iter().take(d.copies as usize).any(|&e| e > SimDuration::ZERO) {
+                reorders += 1;
+                assert!(d.extra.iter().all(|&e| e < plan.reorder_delay));
+            }
+        }
+        assert!(drops > 0, "drops occur");
+        assert!(dups > 0, "duplicates occur");
+        assert!(reorders > 0, "reordering occurs");
+        // Loopback is never faulted.
+        for _ in 0..100 {
+            assert_eq!(m.link_delivery(ReplicaId(2), ReplicaId(2), &mut rng).copies, 1);
+        }
+    }
+
+    #[test]
+    fn no_chaos_consumes_no_draws() {
+        let m = NetModel::single_region(4);
+        let mut rng = SplitMix64::new(6);
+        let before = rng.clone().next_u64();
+        let d = m.link_delivery(ReplicaId(0), ReplicaId(1), &mut rng);
+        assert_eq!(d.copies, 1);
+        assert_eq!(rng.next_u64(), before, "fault-free delivery leaves the rng stream alone");
     }
 
     #[test]

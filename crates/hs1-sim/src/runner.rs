@@ -1,19 +1,26 @@
 //! The discrete-event loop: engines + network model + resource model +
-//! client oracle.
+//! client oracle — plus, when a chaos plan is installed, scheduled
+//! partition/heal transitions and replica crash-restart through the real
+//! `hs1-storage` recovery path.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
+use crate::chaos::{ChaosEventKind, ChaosPlan};
 use crate::cost::CostModel;
 use crate::net::NetModel;
 use crate::oracle::{ClientOracle, LatencyHist};
+use crate::statesync::CatchupModel;
 use hs1_core::common::{SharedMempool, TxSource};
+use hs1_core::persist::{Persistence, RecoveredState};
 use hs1_core::replica::{Action, Replica, Timer};
+use hs1_storage::{ReplicaStorage, StorageConfig};
 use hs1_types::ids::Rank;
 use hs1_types::{
     Block, BlockId, ClientId, Message, ProtocolKind, ReplicaId, ReplyKind, SimDuration, SimTime,
-    SplitMix64, Transaction,
+    SplitMix64, Transaction, View,
 };
 use hs1_workloads::Workload;
 
@@ -22,25 +29,83 @@ const RESPONSE_BYTES_PER_TX: usize = 96;
 #[derive(Clone)]
 enum Ev {
     /// Message bytes arrived at `to`; it now queues for CPU.
-    Deliver {
-        from: ReplicaId,
-        to: ReplicaId,
-        msg: Message,
-    },
-    /// CPU processing finished; invoke the engine.
-    Handle {
-        from: ReplicaId,
-        to: ReplicaId,
-        msg: Message,
-    },
-    Timer {
-        at: ReplicaId,
-        timer: Timer,
-    },
+    Deliver { from: ReplicaId, to: ReplicaId, msg: Message },
+    /// CPU processing finished; invoke the engine. `inc` is the target's
+    /// incarnation at enqueue time: a crash kills in-flight processing.
+    Handle { from: ReplicaId, to: ReplicaId, msg: Message, inc: u32 },
+    /// `inc` guards against timers armed by a pre-crash incarnation.
+    Timer { at: ReplicaId, timer: Timer, inc: u32 },
     /// A client request lands in the shared mempool.
-    Submit {
-        tx: Transaction,
-    },
+    Submit { tx: Transaction },
+    /// A scheduled chaos transition (partition/heal/crash/restart).
+    Chaos { kind: ChaosEventKind },
+    /// Recovery (and, if chosen, the modeled snapshot transfer) finished;
+    /// the replica rejoins the network.
+    RestartDone { replica: ReplicaId, inc: u32 },
+}
+
+/// Chaos-injection counters (all zero on fault-free runs).
+#[derive(Clone, Debug, Default)]
+pub struct ChaosStats {
+    /// Messages lost to link faults, partitions, or a down receiver.
+    pub dropped_msgs: u64,
+    /// Extra copies delivered by link duplication.
+    pub duplicated_msgs: u64,
+    /// Copies delivered with a chaos reorder delay.
+    pub reordered_msgs: u64,
+    pub partitions: u64,
+    pub crashes: u64,
+    pub restarts: u64,
+    /// Restarts whose gap made `CatchupModel` choose snapshot transfer.
+    pub snapshot_syncs: u64,
+    /// Restarts that caught up through per-block fetch replay.
+    pub replay_catchups: u64,
+}
+
+/// Everything the runner needs to crash-restart replicas mid-run:
+/// per-replica journal directories, the storage config those journals
+/// use, a factory for fresh engine instances, and the catch-up cost
+/// model that prices replay vs snapshot at restart time.
+pub struct ChaosRuntime {
+    pub dirs: Vec<PathBuf>,
+    pub storage: StorageConfig,
+    pub rebuild: Box<dyn Fn(usize) -> Box<dyn Replica>>,
+    pub catchup: CatchupModel,
+    /// Override the model-derived snapshot threshold (blocks of gap).
+    pub catchup_threshold: Option<u64>,
+}
+
+/// Post-crash placeholder: keeps the dead replica's last committed chain
+/// and state root visible to the invariant checker while it is down.
+struct Downed {
+    id: ReplicaId,
+    chain: Vec<BlockId>,
+    root: hs1_crypto::Digest,
+    view: View,
+}
+
+impl Replica for Downed {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+    fn on_init(&mut self, _now: SimTime, _out: &mut Vec<Action>) {}
+    fn on_message(&mut self, _f: ReplicaId, _m: Message, _n: SimTime, _o: &mut Vec<Action>) {}
+    fn on_timer(&mut self, _t: Timer, _n: SimTime, _o: &mut Vec<Action>) {}
+    fn enqueue_txs(&mut self, _txs: &[Transaction]) {}
+    fn current_view(&self) -> View {
+        self.view
+    }
+    fn committed_head(&self) -> BlockId {
+        *self.chain.last().expect("genesis always committed")
+    }
+    fn committed_chain(&self) -> Vec<BlockId> {
+        self.chain.clone()
+    }
+    fn set_persistence(&mut self, _p: Box<dyn hs1_core::Persistence>) {}
+    fn restore(&mut self, _rs: RecoveredState) {}
+    fn state_root(&self) -> hs1_crypto::Digest {
+        self.root
+    }
 }
 
 /// Aggregated counters produced by a run.
@@ -57,6 +122,7 @@ pub struct RunStats {
     pub p50_latency_ms: f64,
     pub p99_latency_ms: f64,
     pub invariant_violations: Vec<String>,
+    pub chaos: ChaosStats,
 }
 
 pub struct SimRunner {
@@ -88,6 +154,23 @@ pub struct SimRunner {
     finalized_ranks: HashMap<BlockId, Rank>,
     /// Highest committed rank seen anywhere.
     max_committed_rank: Rank,
+
+    // -- chaos state (inert on fault-free runs) -----------------------------
+    /// Crash-restart machinery; `None` disables mid-run crash handling.
+    chaos_rt: Option<ChaosRuntime>,
+    /// Replicas currently down (messages and timers are dropped).
+    crashed: Vec<bool>,
+    /// Bumped at every crash; stale Handle/Timer events are discarded.
+    incarnation: Vec<u32>,
+    /// Every proposed block body ever seen (never pruned): the archive a
+    /// modeled snapshot install draws bodies from.
+    bodies: HashMap<BlockId, Arc<Block>>,
+    /// Committed chain + state root captured at crash time, checked
+    /// against the recovered state at restart (commits must survive).
+    precrash: HashMap<usize, (Vec<BlockId>, hs1_crypto::Digest)>,
+    /// `(time, committed_blocks)` at the last heal/rejoin: liveness must
+    /// resume after it.
+    liveness_mark: Option<(SimTime, u64)>,
 
     warmup_end: SimTime,
     window_end: SimTime,
@@ -135,6 +218,12 @@ impl SimRunner {
             late_final: Vec::new(),
             finalized_ranks: HashMap::new(),
             max_committed_rank: Rank::GENESIS,
+            chaos_rt: None,
+            crashed: vec![false; n],
+            incarnation: vec![0; n],
+            bodies: HashMap::new(),
+            precrash: HashMap::new(),
+            liveness_mark: None,
             warmup_end: SimTime::ZERO,
             window_end: SimTime::MAX,
             hist: LatencyHist::default(),
@@ -144,6 +233,21 @@ impl SimRunner {
 
     fn n(&self) -> usize {
         self.engines.len()
+    }
+
+    /// Install a chaos plan: link faults go to the network model, the
+    /// scheduled transitions enter the event heap, and (when the plan
+    /// crashes replicas) `rt` supplies the storage dirs + engine factory
+    /// the restart path needs.
+    pub fn install_chaos(&mut self, plan: &ChaosPlan, rt: Option<ChaosRuntime>) {
+        self.net.install_chaos(plan);
+        if plan.has_crashes() {
+            assert!(rt.is_some(), "a plan with crash events needs a ChaosRuntime");
+        }
+        self.chaos_rt = rt;
+        for ev in &plan.events {
+            self.push(ev.at, Ev::Chaos { kind: ev.kind.clone() });
+        }
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
@@ -202,20 +306,33 @@ impl SimRunner {
         match ev {
             Ev::Deliver { from, to, msg } => {
                 let i = to.0 as usize;
+                if self.crashed[i] {
+                    // The receiving process is down; the bytes vanish.
+                    self.stats.chaos.dropped_msgs += 1;
+                    return;
+                }
                 let start = self.now.max(self.cpu_free[i]);
                 let cost = self.cost.recv_cost(&msg, self.quorum);
                 let done = start + cost;
                 self.cpu_free[i] = done;
-                self.push(done, Ev::Handle { from, to, msg });
+                self.push(done, Ev::Handle { from, to, msg, inc: self.incarnation[i] });
             }
-            Ev::Handle { from, to, msg } => {
+            Ev::Handle { from, to, msg, inc } => {
                 let i = to.0 as usize;
+                if self.crashed[i] || inc != self.incarnation[i] {
+                    // A crash killed the processing mid-flight.
+                    self.stats.chaos.dropped_msgs += 1;
+                    return;
+                }
                 let mut out = Vec::new();
                 self.engines[i].on_message(from, msg, self.now, &mut out);
                 self.absorb(to, out);
             }
-            Ev::Timer { at, timer } => {
+            Ev::Timer { at, timer, inc } => {
                 let i = at.0 as usize;
+                if self.crashed[i] || inc != self.incarnation[i] {
+                    return;
+                }
                 let mut out = Vec::new();
                 self.engines[i].on_timer(timer, self.now, &mut out);
                 self.absorb(at, out);
@@ -223,26 +340,202 @@ impl SimRunner {
             Ev::Submit { tx } => {
                 self.mempool.offer(tx);
             }
+            Ev::Chaos { kind } => self.on_chaos(kind),
+            Ev::RestartDone { replica, inc } => {
+                let i = replica.0 as usize;
+                if inc != self.incarnation[i] {
+                    return;
+                }
+                self.crashed[i] = false;
+                // A fresh process has idle resources.
+                self.cpu_free[i] = self.now;
+                self.nic_free[i] = self.now;
+                let mut out = Vec::new();
+                self.engines[i].on_init(self.now, &mut out);
+                self.absorb(replica, out);
+                self.liveness_mark = Some((self.now, self.stats.committed_blocks));
+            }
         }
     }
 
     fn send_one(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
-        // Register proposals for orphan tracking.
+        // Register proposals for orphan tracking and the body archive.
         if let Message::Propose(p) = &msg {
             self.proposed.entry(p.block.id()).or_insert_with(|| p.block.clone());
+            if self.chaos_rt.is_some() {
+                self.bodies.entry(p.block.id()).or_insert_with(|| p.block.clone());
+            }
         }
         let i = from.0 as usize;
         if from == to {
-            // Loopback skips the NIC.
+            // Loopback skips the NIC (and chaos: a process cannot lose a
+            // message to itself).
             self.push(self.now + SimDuration::from_micros(1), Ev::Deliver { from, to, msg });
+            return;
+        }
+        let delivery = self.net.link_delivery(from, to, &mut self.rng);
+        if delivery.copies == 0 {
+            // Lost in flight; the sender still paid to transmit it.
+            self.stats.chaos.dropped_msgs += 1;
+            let size = msg.modeled_wire_size();
+            let start = self.now.max(self.nic_free[i]);
+            self.nic_free[i] = start + self.cost.tx_time(size);
             return;
         }
         let size = msg.modeled_wire_size();
         let start = self.now.max(self.nic_free[i]);
         let done = start + self.cost.tx_time(size);
         self.nic_free[i] = done;
-        let arrival = done + self.net.replica_delay(from, to, &mut self.rng);
-        self.push(arrival, Ev::Deliver { from, to, msg });
+        if delivery.copies > 1 {
+            self.stats.chaos.duplicated_msgs += (delivery.copies - 1) as u64;
+        }
+        for c in 0..delivery.copies as usize {
+            let extra = delivery.extra[c];
+            if extra > SimDuration::ZERO {
+                self.stats.chaos.reordered_msgs += 1;
+            }
+            let arrival = done + self.net.replica_delay(from, to, &mut self.rng) + extra;
+            self.push(arrival, Ev::Deliver { from, to, msg: msg.clone() });
+        }
+    }
+
+    fn on_chaos(&mut self, kind: ChaosEventKind) {
+        match kind {
+            ChaosEventKind::PartitionStart { side } => {
+                self.net.set_partition(&side);
+                self.stats.chaos.partitions += 1;
+            }
+            ChaosEventKind::PartitionHeal => {
+                self.net.heal_partition();
+                self.liveness_mark = Some((self.now, self.stats.committed_blocks));
+            }
+            ChaosEventKind::Crash { replica } => self.crash_replica(replica as usize),
+            ChaosEventKind::Restart { replica } => self.restart_replica(replica as usize),
+        }
+    }
+
+    /// Kill replica `i`: all process state is gone (the engine is swapped
+    /// for a [`Downed`] placeholder so the invariant checker still sees
+    /// its last committed chain); only its journal directory survives.
+    fn crash_replica(&mut self, i: usize) {
+        if i >= self.n() || self.crashed[i] {
+            return;
+        }
+        self.crashed[i] = true;
+        self.incarnation[i] += 1;
+        self.stats.chaos.crashes += 1;
+        let chain = self.engines[i].committed_chain();
+        let root = self.engines[i].state_root();
+        let view = self.engines[i].current_view();
+        self.precrash.insert(i, (chain.clone(), root));
+        // Dropping the old engine closes its journal handles, like a
+        // process exit would.
+        self.engines[i] = Box::new(Downed { id: ReplicaId(i as u32), chain, root, view });
+    }
+
+    /// Bring replica `i` back through the real `hs1-storage` recovery
+    /// path, then decide — with the calibrated [`CatchupModel`] — whether
+    /// the gap to the live cluster warrants a modeled snapshot install
+    /// (`hs1-statesync`'s decision point) or per-block fetch replay. The
+    /// replica rejoins the network at `now` plus the modeled transfer
+    /// time via [`Ev::RestartDone`].
+    fn restart_replica(&mut self, i: usize) {
+        if i >= self.n() || !self.crashed[i] {
+            return;
+        }
+        let Some(rt) = self.chaos_rt.as_ref() else { return };
+        self.stats.chaos.restarts += 1;
+        let (state, mut storage) = match ReplicaStorage::open(&rt.dirs[i], rt.storage) {
+            Ok(v) => v,
+            Err(e) => {
+                // A replica that cannot recover its journal stays down —
+                // and the sweep surfaces it as a finding.
+                self.stats.invariant_violations.push(format!("replica {i} recovery failed: {e}"));
+                return;
+            }
+        };
+        let mut engine = (rt.rebuild)(i);
+        engine.restore(state);
+
+        // Commits must survive a crash: the recovered chain extends (or
+        // equals) what was committed at crash time, and replaying it
+        // reproduces the same state root.
+        if let Some((pre_chain, pre_root)) = self.precrash.remove(&i) {
+            let recovered = engine.committed_chain();
+            if !recovered.starts_with(&pre_chain) {
+                self.stats.invariant_violations.push(format!(
+                    "replica {i} recovery lost committed blocks ({} -> {})",
+                    pre_chain.len(),
+                    recovered.len()
+                ));
+            } else if recovered == pre_chain && engine.state_root() != pre_root {
+                self.stats
+                    .invariant_violations
+                    .push(format!("replica {i} recovery replay diverged from pre-crash state"));
+            }
+        }
+
+        // Gap to the live cluster, measured against the longest committed
+        // chain of any up replica.
+        let own = engine.committed_chain();
+        let peer = (0..self.n())
+            .filter(|&p| p != i && !self.crashed[p])
+            .map(|p| self.engines[p].committed_chain())
+            .max_by_key(|c| c.len())
+            .unwrap_or_default();
+        let gap = peer.len().saturating_sub(own.len()) as u64;
+
+        let mut model = rt.catchup.clone();
+        model.chain_len = peer.len() as u64;
+        // Materialized state grows with commit history (writes upper-bound
+        // the distinct keys an image must carry).
+        model.state_entries = model.chain_len * model.txs_per_block;
+        let threshold = rt.catchup_threshold.unwrap_or_else(|| model.crossover_blocks());
+
+        let mut delay = SimDuration::ZERO;
+        if gap > 0 && gap >= threshold {
+            // Snapshot decision: install the peers' committed suffix as a
+            // verified image (bodies come from the runner's archive — the
+            // modeled analog of chunk transfer) and charge the modeled
+            // transfer time before the replica rejoins. Blocks the
+            // cluster commits *during* the transfer are the model's
+            // residual; the live fetch path replays them organically.
+            let suffix: Option<Vec<Arc<Block>>> =
+                peer[own.len()..].iter().map(|id| self.bodies.get(id).cloned()).collect();
+            if let Some(suffix) = suffix {
+                let peer_view = (0..self.n())
+                    .filter(|&p| p != i && !self.crashed[p])
+                    .map(|p| self.engines[p].current_view())
+                    .max()
+                    .unwrap_or(View::GENESIS);
+                engine.restore(RecoveredState {
+                    view: peer_view,
+                    decided: suffix.clone(),
+                    ..Default::default()
+                });
+                // Mirror `ReplicaStorage::install_snapshot`: the adopted
+                // suffix must be journaled before going live, or the next
+                // recovery replays new commits onto a pre-sync base.
+                for b in &suffix {
+                    storage.on_commit(b);
+                }
+                storage.on_view(peer_view);
+                storage.sync();
+                delay = model.snapshot_time();
+                self.stats.chaos.snapshot_syncs += 1;
+            } else {
+                // Archive miss (should not happen — every proposal is
+                // archived); fall back to live replay.
+                self.stats.chaos.replay_catchups += 1;
+            }
+        } else if gap > 0 {
+            self.stats.chaos.replay_catchups += 1;
+        }
+
+        engine.set_persistence(Box::new(storage));
+        self.engines[i] = engine;
+        let inc = self.incarnation[i];
+        self.push(self.now + delay, Ev::RestartDone { replica: ReplicaId(i as u32), inc });
     }
 
     fn absorb(&mut self, from: ReplicaId, actions: Vec<Action>) {
@@ -257,7 +550,8 @@ impl SimRunner {
                 Action::SetTimer { timer, at } => {
                     let at =
                         if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
-                    self.push(at, Ev::Timer { at: from, timer });
+                    let inc = self.incarnation[from.0 as usize];
+                    self.push(at, Ev::Timer { at: from, timer, inc });
                 }
                 Action::Executed { block, kind, .. } => self.on_executed(from, block, kind),
                 Action::Committed { block } => self.on_committed(block),
@@ -342,12 +636,16 @@ impl SimRunner {
         if rank > self.max_committed_rank {
             self.max_committed_rank = rank;
         }
-        let orphans: Vec<BlockId> = self
+        // Sort the scan's hits: HashMap iteration order is not stable
+        // across runs, and resurrect order shapes future batches — the
+        // byte-for-byte replay guarantee forbids that leaking through.
+        let mut orphans: Vec<BlockId> = self
             .proposed
             .iter()
             .filter(|(_, b)| b.view < rank.view && Rank::new(b.view, b.slot) <= rank)
             .map(|(id, _)| *id)
             .collect();
+        orphans.sort_unstable_by_key(|id| id.0 .0);
         for oid in orphans {
             if let Some(ob) = self.proposed.remove(&oid) {
                 self.stats.orphaned_blocks += 1;
@@ -370,9 +668,58 @@ impl SimRunner {
     }
 
     /// Post-run safety checks: committed-prefix agreement across correct
-    /// replicas, and every finalized block on the canonical chain.
+    /// replicas, per-height commit agreement, state-root convergence for
+    /// replicas at the same committed position, post-chaos liveness, and
+    /// every finalized block on the canonical chain.
     fn check_invariants(&mut self) {
         let chains: Vec<Vec<BlockId>> = self.engines.iter().map(|e| e.committed_chain()).collect();
+
+        // No two replicas may commit different blocks at the same height
+        // (strictly stronger than the longest-prefix comparison below: it
+        // also catches two short diverging chains).
+        let max_len = chains.iter().map(|c| c.len()).max().unwrap_or(0);
+        for h in 1..max_len {
+            let mut seen: Option<BlockId> = None;
+            for (i, c) in chains.iter().enumerate() {
+                let Some(&id) = c.get(h) else { continue };
+                match seen {
+                    None => seen = Some(id),
+                    Some(first) if first != id => {
+                        self.stats.invariant_violations.push(format!(
+                            "conflicting commits at height {h} (replica {i} disagrees)"
+                        ));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Deterministic execution: identical committed chains must yield
+        // identical state roots (a recovered or snapshot-synced replica
+        // that reached the same position with different state diverged).
+        let roots: Vec<_> = self.engines.iter().map(|e| e.state_root()).collect();
+        for i in 0..chains.len() {
+            for j in (i + 1)..chains.len() {
+                if chains[i] == chains[j] && roots[i] != roots[j] {
+                    self.stats.invariant_violations.push(format!(
+                        "replicas {i} and {j} share a committed chain but diverge in state root"
+                    ));
+                }
+            }
+        }
+
+        // Post-GST liveness: after the last partition heal / replica
+        // rejoin, the cluster must commit again (given it had room to).
+        if let Some((at, height)) = self.liveness_mark {
+            let slack = SimDuration::from_millis(100);
+            if at + slack < self.window_end && self.stats.committed_blocks <= height {
+                self.stats.invariant_violations.push(format!(
+                    "no commits after faults quiesced at {:.3}s (height stuck at {height})",
+                    at.as_secs_f64()
+                ));
+            }
+        }
         // "Correct" replicas are those the scenario left honest; the
         // runner does not know fault assignments, so it checks agreement
         // over the longest mutually consistent set: any two chains must be
@@ -430,7 +777,44 @@ impl SimRunner {
     }
 }
 
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl SimRunner {
+    /// Order-stable digest of the run's observable outcome: per-replica
+    /// committed chains and state roots, invariant violations, and the
+    /// headline counters. Two runs of the same seed + chaos plan must
+    /// produce identical fingerprints — the byte-for-byte replay
+    /// guarantee the chaos sweep prints seeds for.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in &self.engines {
+            for id in e.committed_chain() {
+                h = fnv1a(h, &id.0 .0);
+            }
+            h = fnv1a(h, &e.state_root().0);
+            h = fnv1a(h, &e.current_view().0.to_le_bytes());
+        }
+        for v in &self.stats.invariant_violations {
+            h = fnv1a(h, v.as_bytes());
+        }
+        for c in [
+            self.stats.finalized_txs,
+            self.stats.committed_blocks,
+            self.stats.rollbacks,
+            self.stats.chaos.dropped_msgs,
+            self.stats.chaos.duplicated_msgs,
+            self.stats.chaos.snapshot_syncs,
+        ] {
+            h = fnv1a(h, &c.to_le_bytes());
+        }
+        h
+    }
+
     /// Per-replica committed-chain lengths (debug/inspection).
     pub fn committed_lengths(&self) -> Vec<usize> {
         self.engines.iter().map(|e| e.committed_chain().len()).collect()

@@ -13,15 +13,20 @@
 //! assert!(report.invariants_ok());
 //! ```
 
+use crate::chaos::ChaosPlan;
 use crate::cost::CostModel;
 use crate::net::NetModel;
 use crate::regions::{spread, Region};
-use crate::runner::SimRunner;
+use crate::runner::{ChaosRuntime, ChaosStats, SimRunner};
+use crate::statesync::CatchupModel;
 use hs1_core::byzantine::Fault;
 use hs1_core::common::SharedMempool;
 use hs1_core::Replica;
 use hs1_ledger::ExecConfig;
-use hs1_types::{ProtocolKind, ReplicaId, SimDuration, SystemConfig};
+use hs1_storage::journal::SyncPolicy;
+use hs1_storage::testutil::TempDir;
+use hs1_storage::{ReplicaStorage, StorageConfig};
+use hs1_types::{ProtocolKind, ReplicaId, SimDuration, SimTime, SystemConfig};
 use hs1_workloads::{TpccGen, Workload, YcsbGen};
 
 /// Which workload drives the clients (§7 "Workloads").
@@ -51,6 +56,12 @@ pub struct Scenario {
     pub injected: Vec<(usize, SimDuration)>,
     pub faults: Vec<(usize, Fault)>,
     pub cost: CostModel,
+    /// Deterministic fault schedule (see [`crate::chaos`]).
+    pub chaos: Option<ChaosPlan>,
+    /// Gap (in blocks) past which a restarting replica snapshot-syncs
+    /// instead of replaying; `None` asks [`CatchupModel`] for the
+    /// crossover.
+    pub catchup_threshold: Option<u64>,
 }
 
 impl Scenario {
@@ -71,7 +82,30 @@ impl Scenario {
             injected: Vec::new(),
             faults: Vec::new(),
             cost: CostModel::default(),
+            chaos: None,
+            catchup_threshold: None,
         }
+    }
+
+    /// The horizon [`ChaosPlan::generate`] should use for this scenario:
+    /// faults stay inside the first ~65% of the run so the post-GST
+    /// liveness invariant has a fault-free tail to observe.
+    pub fn chaos_horizon(&self) -> SimTime {
+        let span = self.warmup_seconds + self.sim_seconds * 0.65;
+        SimTime::ZERO + SimDuration::from_secs_f64(span)
+    }
+
+    /// Install a chaos plan (derive one with [`ChaosPlan::generate`],
+    /// typically at [`Scenario::chaos_horizon`]).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Force the replay-vs-snapshot decision gap for chaos restarts.
+    pub fn catchup_threshold(mut self, blocks: u64) -> Self {
+        self.catchup_threshold = Some(blocks);
+        self
     }
 
     pub fn replicas(mut self, n: usize) -> Self {
@@ -189,7 +223,7 @@ impl Scenario {
         };
 
         let pool = SharedMempool::new();
-        let engines: Vec<Box<dyn Replica>> = (0..self.n)
+        let mut engines: Vec<Box<dyn Replica>> = (0..self.n)
             .map(|i| {
                 let fault = self
                     .faults
@@ -208,6 +242,68 @@ impl Scenario {
             })
             .collect();
 
+        // Chaos: durable journals (so crash-restart recovers through the
+        // real hs1-storage path) + an engine factory for rebuilt replicas.
+        // Dirs must outlive the run; they self-clean on drop.
+        let mut chaos_dirs: Vec<TempDir> = Vec::new();
+        let chaos_rt = match &self.chaos {
+            Some(plan) if plan.has_crashes() => {
+                assert_eq!(plan.n, self.n, "chaos plan sized for a different deployment");
+                let storage_cfg = StorageConfig {
+                    segment_bytes: 256 * 1024,
+                    sync: SyncPolicy::EveryN(8),
+                    checkpoint_every: 64,
+                };
+                let mut dirs = Vec::with_capacity(self.n);
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    let dir = TempDir::new(&format!("chaos-s{}-r{i}", self.seed));
+                    let (state, storage) = ReplicaStorage::open(dir.path(), storage_cfg)
+                        .expect("open fresh chaos journal");
+                    debug_assert!(state.is_empty(), "fresh dir has no history");
+                    engine.set_persistence(Box::new(storage));
+                    dirs.push(dir.path().to_path_buf());
+                    chaos_dirs.push(dir);
+                }
+                let mut catchup = CatchupModel::lan(0, 0);
+                catchup.cost = self.cost.clone();
+                catchup.txs_per_block = self.batch_size.max(1) as u64;
+                catchup.block_bytes = 96 + 64 + self.batch_size * 8;
+                let rebuild = {
+                    let protocol = self.protocol;
+                    let cfg = cfg.clone();
+                    let faults = self.faults.clone();
+                    let pool = pool.clone();
+                    move |i: usize| {
+                        let fault = faults
+                            .iter()
+                            .find(|(r, _)| *r == i)
+                            .map(|(_, fl)| fl.clone())
+                            .unwrap_or(Fault::Honest);
+                        build_with_source(
+                            protocol,
+                            cfg.clone(),
+                            ReplicaId(i as u32),
+                            fault,
+                            exec,
+                            Box::new(pool.clone()),
+                        )
+                    }
+                };
+                Some(ChaosRuntime {
+                    dirs,
+                    storage: storage_cfg,
+                    rebuild: Box::new(rebuild),
+                    catchup,
+                    catchup_threshold: self.catchup_threshold,
+                })
+            }
+            Some(plan) => {
+                assert_eq!(plan.n, self.n, "chaos plan sized for a different deployment");
+                None
+            }
+            None => None,
+        };
+
         let mut runner = SimRunner::new(
             engines,
             pool,
@@ -218,6 +314,9 @@ impl Scenario {
             workload,
             self.seed,
         );
+        if let Some(plan) = &self.chaos {
+            runner.install_chaos(plan, chaos_rt);
+        }
         runner.spawn_clients(self.clients);
         runner.run(
             SimDuration::from_secs_f64(self.warmup_seconds),
@@ -226,6 +325,9 @@ impl Scenario {
         let honest: Vec<usize> =
             (0..self.n).filter(|i| !self.faults.iter().any(|(r, _)| r == i)).collect();
         runner.check_prefix_agreement(&honest);
+        let fingerprint = runner.fingerprint();
+        let replica_views = runner.current_views();
+        let replica_chain_lens = runner.committed_lengths();
         let stats = runner.stats().clone();
 
         Report {
@@ -245,6 +347,10 @@ impl Scenario {
             rollbacks: stats.rollbacks,
             views_entered: stats.views_entered,
             invariant_violations: stats.invariant_violations,
+            chaos: stats.chaos,
+            fingerprint,
+            replica_views,
+            replica_chain_lens,
         }
     }
 }
@@ -317,11 +423,40 @@ pub struct Report {
     pub rollbacks: u64,
     pub views_entered: u64,
     pub invariant_violations: Vec<String>,
+    /// Chaos-injection counters (all zero on fault-free runs).
+    pub chaos: ChaosStats,
+    /// Order-stable digest of the run's observable outcome (committed
+    /// chains, state roots, violations). Two runs of the same scenario
+    /// seed + chaos plan produce identical fingerprints — the replay
+    /// guarantee the chaos sweep's shrinker depends on.
+    pub fingerprint: u64,
+    /// Per-replica view at end of run (chaos-failure diagnostics).
+    pub replica_views: Vec<u64>,
+    /// Per-replica committed-chain length at end of run.
+    pub replica_chain_lens: Vec<usize>,
 }
 
 impl Report {
     pub fn invariants_ok(&self) -> bool {
         self.invariant_violations.is_empty()
+    }
+
+    /// Hard gate: print any invariant violation to stderr and exit
+    /// non-zero. Examples, benches and the chaos sweep all route through
+    /// this so a safety regression can never scroll past as advisory
+    /// output (CI runs them with `set -e` semantics).
+    pub fn ensure_invariants(&self, label: &str) {
+        if self.invariants_ok() {
+            return;
+        }
+        eprintln!(
+            "INVARIANT VIOLATION [{label}] ({} violations):",
+            self.invariant_violations.len()
+        );
+        for v in &self.invariant_violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
     }
 
     /// One-line summary for bench output.

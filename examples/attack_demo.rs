@@ -21,7 +21,7 @@ fn run(p: ProtocolKind, fault: Option<Fault>, label: &str) -> (f64, f64) {
         s = s.faulty_leaders(2, f);
     }
     let r = s.run();
-    assert!(r.invariants_ok(), "{label}: {:?}", r.invariant_violations);
+    r.ensure_invariants(label);
     println!(
         "  {:<34} {:>10.0} tx/s {:>9.2} ms  (orphaned blocks: {})",
         label, r.throughput_tps, r.mean_latency_ms, r.orphaned_blocks

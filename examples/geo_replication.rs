@@ -23,7 +23,7 @@ fn main() {
                 .sim_seconds(2.0)
                 .warmup_seconds(0.5)
                 .run();
-            assert!(r.invariants_ok(), "{p:?}: {:?}", r.invariant_violations);
+            r.ensure_invariants(&format!("{} x{regions} regions", p.name()));
             println!(
                 "{:<10} {:<24} {:>12.0} {:>12.1}",
                 regions,

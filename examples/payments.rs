@@ -21,7 +21,7 @@ fn main() {
             .sim_seconds(1.5)
             .warmup_seconds(0.3)
             .run();
-        assert!(r.invariants_ok(), "{p:?}: {:?}", r.invariant_violations);
+        r.ensure_invariants(p.name());
         println!(
             "{:<24} {:>12.0} {:>12.2} {:>12.2}",
             p.name(),

@@ -31,8 +31,11 @@ fn main() {
     println!("  p99 latency       : {:>10.2} ms", report.p99_latency_ms);
     println!("  blocks committed  : {:>10}", report.committed_blocks);
     println!("  rollbacks         : {:>10}", report.rollbacks);
-    assert!(report.invariants_ok(), "safety invariants: {:?}", report.invariant_violations);
-    println!("\nsafety invariants hold (committed-prefix agreement, finality soundness)");
+    report.ensure_invariants("quickstart HotStuff-1");
+    println!(
+        "\nsafety invariants hold (per-height commit agreement, state-root\n\
+         convergence, finality soundness, post-fault liveness)"
+    );
 
     // Compare against the HotStuff-2 baseline on the same deployment.
     let baseline = Scenario::new(ProtocolKind::HotStuff2)
@@ -42,6 +45,7 @@ fn main() {
         .sim_seconds(1.0)
         .warmup_seconds(0.25)
         .run();
+    baseline.ensure_invariants("quickstart HotStuff-2");
     println!(
         "\nHotStuff-2 on the same cluster: {:.2} ms mean latency — HotStuff-1 is {:.1}% faster",
         baseline.mean_latency_ms,

@@ -10,7 +10,9 @@
 //! * [`consensus`] — the protocol engines ([`hs1_core`])
 //! * [`storage`] — durable journal, checkpoints, crash recovery ([`hs1_storage`])
 //! * [`statesync`] — snapshot state transfer for fast catch-up ([`hs1_statesync`])
-//! * [`sim`] — deterministic discrete-event simulator ([`hs1_sim`])
+//! * [`sim`] — deterministic discrete-event simulator, including the
+//!   seeded chaos subsystem ([`hs1_sim`], [`hs1_sim::chaos`])
+//! * [`chaos`] — chaos seed sweep, shrinker, and replay ([`hs1_chaos`])
 //! * [`net`] — real TCP transport ([`hs1_net`])
 //!
 //! ## Quickstart
@@ -30,6 +32,7 @@
 //! assert!(report.invariants_ok());
 //! ```
 
+pub use hs1_chaos as chaos;
 pub use hs1_core as consensus;
 pub use hs1_crypto as crypto;
 pub use hs1_ledger as ledger;
