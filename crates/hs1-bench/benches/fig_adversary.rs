@@ -1,0 +1,33 @@
+//! Adversary absorption cost: throughput/latency of the three HotStuff-1
+//! engines with one Byzantine backup playing each in-model strategy,
+//! against the honest baseline. The protocols must *absorb* every ≤ f
+//! adversary (the oracles gate each run), so this figure measures what
+//! the absorption costs — equivocal votes burn leader tally work,
+//! withheld votes shrink the quorum margin, stale certificates churn the
+//! pacemaker, and corrupt fetch bodies delay catch-up after every loss.
+
+use hs1_adversary::AdversaryStrategy;
+use hs1_bench::{standard, FigureSink};
+use hs1_sim::{ProtocolKind, Scenario};
+
+fn main() {
+    let mut sink = FigureSink::new(
+        "fig_adversary",
+        "throughput/latency vs backup adversary strategy (1 of 4 replicas Byzantine)",
+    );
+    let engines =
+        [ProtocolKind::HotStuff1Basic, ProtocolKind::HotStuff1, ProtocolKind::HotStuff1Slotted];
+    for p in engines {
+        let base = standard(Scenario::new(p).replicas(4).batch_size(32).clients(64)).seed(17);
+        let report = base.run();
+        sink.record(&format!("honest {}", p.name()), &report);
+        for strategy in AdversaryStrategy::IN_MODEL {
+            let s = standard(Scenario::new(p).replicas(4).batch_size(32).clients(64))
+                .seed(17)
+                .with_adversary(1, strategy);
+            let report = s.run();
+            sink.record(&format!("{} {}", strategy.name(), p.name()), &report);
+        }
+    }
+    sink.finish();
+}

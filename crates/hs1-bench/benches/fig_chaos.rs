@@ -20,6 +20,9 @@ fn main() {
         ProtocolKind::HotStuff1Slotted,
     ];
     for loss_pct in [0u32, 1, 2, 5, 10] {
+        // Link faults only: the adversary/bit-rot/skew axes are disabled
+        // so the loss axis stays apples-to-apples run-over-run (the
+        // adversary absorption cost has its own figure, fig_adversary).
         let cfg = ChaosConfig {
             drop_p: loss_pct as f64 / 100.0,
             dup_p: loss_pct as f64 / 200.0,
@@ -28,7 +31,8 @@ fn main() {
             partitions: 0,
             crashes: 0,
             ..ChaosConfig::default()
-        };
+        }
+        .without_new_axes();
         for p in protocols {
             let scenario =
                 standard(Scenario::new(p).replicas(4).batch_size(32).clients(64)).seed(7);

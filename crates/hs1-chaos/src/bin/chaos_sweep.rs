@@ -37,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos_sweep [--seeds N] [--start K] [--sim-seconds F] \
          [--protocols hs,hs2,hs1,basic,slotted] [--threshold BLOCKS] \
-         [--config default|lossy|events] [--inject none|halt|rollback] \
+         [--config default|lossy|events|legacy] [--inject none|halt|rollback|forge] \
          [--replay '<protocol>:<plan-spec>'] [--quiet]"
     );
     std::process::exit(2);
@@ -85,6 +85,9 @@ fn parse_args() -> Args {
                     "default" => ChaosConfig::default(),
                     "lossy" => ChaosConfig::lossy_only(),
                     "events" => ChaosConfig::events_only(),
+                    // Pre-adversary axis set (drops/dups/reorder/
+                    // partitions/crashes only) for bisecting regressions.
+                    "legacy" => ChaosConfig::default().without_new_axes(),
                     _ => usage(),
                 }
             }
@@ -119,7 +122,7 @@ fn replay(args: &Args, spec: &str) -> ! {
     println!("  {}", report.row());
     println!(
         "  chaos: dropped={} dup={} reordered={} partitions={} crashes={} restarts={} \
-         snapshot-syncs={} replays={}",
+         snapshot-syncs={} replays={} adversaries={} bitrot={} failstops={} rotations={}",
         report.chaos.dropped_msgs,
         report.chaos.duplicated_msgs,
         report.chaos.reordered_msgs,
@@ -128,6 +131,10 @@ fn replay(args: &Args, spec: &str) -> ! {
         report.chaos.restarts,
         report.chaos.snapshot_syncs,
         report.chaos.replay_catchups,
+        report.chaos.adversaries,
+        report.chaos.bitrot_events,
+        report.chaos.bitrot_failstops,
+        report.chaos.snapshot_rotations,
     );
     println!("  views: {:?}  chain-lens: {:?}", report.replica_views, report.replica_chain_lens);
     println!("  fingerprint: {:#018x}", report.fingerprint);
@@ -164,7 +171,7 @@ fn main() {
             if !quiet {
                 println!(
                     "  seed={:<4} {:<10} tput={:>8.0} tx/s dropped={:<5} dup={:<4} crashes={} \
-                     snap={} ok={}",
+                     snap={} adv={} rot={} ok={}",
                     case.plan.seed,
                     protocol_token(case.protocol),
                     report.throughput_tps,
@@ -172,6 +179,8 @@ fn main() {
                     report.chaos.duplicated_msgs,
                     report.chaos.crashes,
                     report.chaos.snapshot_syncs,
+                    report.chaos.adversaries,
+                    report.chaos.bitrot_events,
                     report.invariants_ok(),
                 );
             }

@@ -15,6 +15,7 @@
 //!
 //! See `src/bin/chaos_sweep.rs` for the CLI CI invokes.
 
+use hs1_adversary::AdversaryStrategy;
 use hs1_core::Fault;
 use hs1_sim::chaos::{ChaosConfig, ChaosPlan, LinkAxis};
 use hs1_sim::{ProtocolKind, Report, Scenario};
@@ -35,6 +36,14 @@ pub enum Inject {
     /// adversarial *pressure* on the speculation path; trips the safety
     /// invariants only when the schedule lines up.
     Rollback,
+    /// One `hs1-adversary` backup playing `ForgeQuorum`: it forges a
+    /// quorum-certificate chain over a fabricated fork (possible only
+    /// because of the HMAC signature substitution) and proposes it,
+    /// making honest replicas *commit* conflicting state. The safety
+    /// oracles — per-height commit agreement, prefix divergence,
+    /// orphaned finality — must fire; this is the canary proving the
+    /// gate catches genuine safety violations, not just liveness halts.
+    Forge,
 }
 
 impl Inject {
@@ -43,6 +52,7 @@ impl Inject {
             "none" => Some(Inject::None),
             "halt" => Some(Inject::Halt),
             "rollback" => Some(Inject::Rollback),
+            "forge" => Some(Inject::Forge),
             _ => None,
         }
     }
@@ -52,6 +62,7 @@ impl Inject {
             Inject::None => "none",
             Inject::Halt => "halt",
             Inject::Rollback => "rollback",
+            Inject::Forge => "forge",
         }
     }
 }
@@ -92,6 +103,9 @@ impl ChaosCase {
                 s = s
                     .with_fault(1, Fault::RollbackAttack { victims: vec![ReplicaId(0)] })
                     .with_fault(2, Fault::RollbackAttack { victims: vec![ReplicaId(3)] });
+            }
+            Inject::Forge => {
+                s = s.with_adversary(1, AdversaryStrategy::ForgeQuorum);
             }
         }
         s
@@ -165,8 +179,9 @@ pub struct Failure {
 }
 
 /// Greedy fixed-point shrinking: repeatedly try removing one fault-event
-/// unit (a crash/restart or partition/heal pair) or zeroing one link
-/// axis, keeping any reduction under which `fails` still answers true.
+/// unit (a crash/restart(+bitrot) or partition/heal pair), dropping one
+/// adversary, zeroing one link axis, or flattening the clock-skew axis —
+/// keeping any reduction under which `fails` still answers true.
 /// Returns the minimal plan plus the number of candidate runs spent.
 pub fn shrink(mut plan: ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bool) -> (ChaosPlan, u32) {
     let mut runs = 0;
@@ -187,6 +202,19 @@ pub fn shrink(mut plan: ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bool) ->
         if progressed {
             continue;
         }
+        // Adversaries, last first.
+        for k in (0..plan.adversaries.len()).rev() {
+            let candidate = plan.without_adversary(k);
+            runs += 1;
+            if fails(&candidate) {
+                plan = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
         for axis in [LinkAxis::Dup, LinkAxis::Reorder, LinkAxis::Drop] {
             if !plan.axis_active(axis) {
                 continue;
@@ -197,6 +225,14 @@ pub fn shrink(mut plan: ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bool) ->
                 plan = candidate;
                 progressed = true;
                 break;
+            }
+        }
+        if !progressed && plan.skew_active() {
+            let candidate = plan.without_skew();
+            runs += 1;
+            if fails(&candidate) {
+                plan = candidate;
+                progressed = true;
             }
         }
         if !progressed {
@@ -284,7 +320,23 @@ mod tests {
         assert!(plan.events.len() > 2, "more than just the crash window");
         let (min, runs) = shrink(plan, |p| p.has_crashes() && p.axis_active(LinkAxis::Drop));
         assert!(runs > 0);
-        assert_eq!(min.events.len(), 2, "only the crash/restart pair survives");
+        // Only the crash window survives: crash + restart, plus the
+        // bit-rot rider scheduled inside it (one removable unit).
+        let crash_unit: usize = min
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    ChaosEventKind::Crash { .. }
+                        | ChaosEventKind::Restart { .. }
+                        | ChaosEventKind::BitRot { .. }
+                )
+            })
+            .count();
+        assert_eq!(min.events.len(), crash_unit, "only the crash window survives");
+        assert!(min.adversaries.is_empty(), "irrelevant adversary removed");
+        assert!(!min.skew_active(), "irrelevant skew removed");
         assert!(min.has_crashes());
         assert!(min.axis_active(LinkAxis::Drop));
         assert!(!min.axis_active(LinkAxis::Dup), "irrelevant axis removed");

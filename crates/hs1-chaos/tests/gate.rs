@@ -8,6 +8,47 @@ use hs1_sim::chaos::ChaosConfig;
 use hs1_sim::ProtocolKind;
 
 #[test]
+fn forged_quorum_violation_is_caught_and_replays_byte_identically() {
+    // The safety-side canary: a ForgeQuorum adversary (beyond the fault
+    // model — it forges other replicas' HMAC shares) makes honest
+    // replicas commit a fabricated fork. The sweep must catch it as a
+    // *safety* violation, the printed spec must reproduce the identical
+    // run, and the shrunk plan must still fail.
+    let failure = sweep(
+        &[ProtocolKind::HotStuff1],
+        0,
+        1,
+        &ChaosConfig::default(),
+        4,
+        0.6,
+        None,
+        Inject::Forge,
+        |_, _| {},
+    )
+    .expect_err("forge injection must fail the sweep");
+
+    assert!(
+        !failure.report.invariant_violations.is_empty(),
+        "safety oracles fired: {:?}",
+        failure.report.invariant_violations
+    );
+
+    let cmd = replay_command(&failure.minimized);
+    assert!(cmd.contains("--inject forge"), "replay carries the injection flag: {cmd}");
+    let spec_start = cmd.find("--replay '").expect("replay spec printed") + "--replay '".len();
+    let spec = &cmd[spec_start..cmd[spec_start..].find('\'').unwrap() + spec_start];
+    let (protocol, plan) = parse_replay(spec).expect("printed spec parses");
+    assert_eq!(protocol, ProtocolKind::HotStuff1);
+    let replayed = ChaosCase { plan, ..failure.minimized.clone() }.run();
+    let rerun = failure.minimized.run();
+    assert_eq!(
+        replayed.fingerprint, rerun.fingerprint,
+        "shrunk plan replays byte-identically from its printed spec"
+    );
+    assert!(!replayed.invariants_ok(), "and still violates");
+}
+
+#[test]
 fn injected_violation_is_caught_reproduced_and_shrunk() {
     // Two fail-silent replicas exceed f for n = 4: the post-fault
     // liveness invariant must fire on every seed whose plan heals or

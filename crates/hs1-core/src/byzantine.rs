@@ -3,6 +3,12 @@
 //! Faults are leader-side behaviors consulted at propose time; faulty
 //! replicas behave honestly as backups (they aim to slow progress, not to
 //! censor responses — per the paper's attack experiments).
+//!
+//! *Backup-side* misbehavior — equivocal voting, vote withholding, stale
+//! certificate advertisement, corrupt fetch/snapshot serving — lives in
+//! the `hs1-adversary` crate as a message-mutation layer wrapped around
+//! any engine, so one implementation covers all five protocol kinds in
+//! the simulator and the TCP stack alike.
 
 use hs1_types::ReplicaId;
 

@@ -46,6 +46,9 @@ pub struct Pacemaker {
     formed: HashMap<u64, TimeoutCert>,
     /// Epoch-start view we are waiting on (sent a Wish, not yet entered).
     awaiting: Option<View>,
+    /// Fruitless [`Pacemaker::rewish`] retries since parking (drives the
+    /// escalation ladder).
+    rewish_count: u64,
 }
 
 impl Pacemaker {
@@ -63,6 +66,7 @@ impl Pacemaker {
             tc_done: HashSet::new(),
             formed: HashMap::new(),
             awaiting: None,
+            rewish_count: 0,
         }
     }
 
@@ -100,6 +104,7 @@ impl Pacemaker {
             });
         }
         self.awaiting = Some(next);
+        self.rewish_count = 0;
         PmOutcome::AwaitTc
     }
 
@@ -108,14 +113,36 @@ impl Pacemaker {
     /// dropped — without a retry the replica parks at the epoch boundary
     /// forever and enough parked replicas halt the deployment). Engines
     /// call this from a retry timer armed while `awaiting_tc`.
+    ///
+    /// Retries *escalate*: every second fruitless retry also wishes for
+    /// the next epoch boundary above the last target. Parked replicas can
+    /// fragment across different epochs — each short of a wish quorum for
+    /// its own boundary (the holders of the old TC crashed, pruned it, or
+    /// restarted past it) — and without escalation they all starve.
+    /// Because leaders keep the shares they collect, every parked
+    /// replica's escalation ladder sweeps through every epoch above its
+    /// base, so some common epoch eventually accumulates `n − f` distinct
+    /// shares; its TC then re-synchronizes everyone at once (paired with
+    /// the newer-TC release in [`Pacemaker::on_tc`]). This mirrors the
+    /// view escalation of production view synchronizers and touches
+    /// liveness only — wishes for higher epochs are exactly what a
+    /// replica whose timer keeps expiring would send anyway.
     pub fn rewish(&mut self, kp: &KeyPair, out: &mut Vec<Action>) {
-        let Some(next) = self.awaiting else { return };
-        let share = kp.sign(domains::WISH, &TimeoutCert::signing_bytes(next));
-        for leader in self.cfg.epoch_leaders(next) {
-            out.push(Action::Send {
-                to: leader,
-                msg: Message::Wish(WishMsg { view: next, share }),
-            });
+        let Some(base) = self.awaiting else { return };
+        self.rewish_count += 1;
+        let k = self.rewish_count / 2;
+        let target = View(base.0 + k * self.cfg.epoch_len());
+        for v in [base, target] {
+            let share = kp.sign(domains::WISH, &TimeoutCert::signing_bytes(v));
+            for leader in self.cfg.epoch_leaders(v) {
+                out.push(Action::Send {
+                    to: leader,
+                    msg: Message::Wish(WishMsg { view: v, share }),
+                });
+            }
+            if target == base {
+                break;
+            }
         }
     }
 
@@ -190,7 +217,19 @@ impl Pacemaker {
     }
 
     fn release_if_awaiting(&mut self, v: View) -> Option<View> {
-        if self.awaiting == Some(v) && self.start_times.contains_key(&v.0) {
+        let w = self.awaiting?;
+        // Exact match enters the awaited view. A TC for a *newer* epoch
+        // releases the waiter too: it is quorum-signed proof the cluster
+        // synchronized past the awaited boundary while this replica's
+        // Wish/TC exchange was lost beyond recovery — e.g. every replica
+        // that had formed the old TC crashed (pacemaker state is process
+        // state) or pruned it. Without this, a parked replica whose
+        // epoch leaders lost the TC is disenfranchised forever, and a
+        // second fault (a Byzantine backup corrupting the fetch path
+        // that would otherwise rescue it via a proposal jump) can stall
+        // the whole deployment. Found by the chaos sweep's
+        // Byzantine-backup axis.
+        if v >= w && self.start_times.contains_key(&v.0) {
             self.awaiting = None;
             return Some(v);
         }
@@ -354,6 +393,47 @@ mod tests {
             pm.share_deadline(View(1), SimTime::ZERO),
             SimTime::ZERO + cfg.view_timer + cfg.delta * 3
         );
+    }
+
+    #[test]
+    fn newer_epoch_tc_releases_a_parked_waiter() {
+        // A replica parked at epoch boundary 2 whose TC(2) holders all
+        // crashed or pruned it: a valid TC for a *later* epoch proves
+        // the cluster moved on and must release the waiter forward.
+        let (cfg, kps, reg) = setup(4);
+        let mut pm = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        let mut out = Vec::new();
+        pm.completed_view(View(2), &kps[0], &mut out);
+        assert!(pm.is_awaiting_tc());
+        out.clear();
+
+        let sigs: Vec<_> = (0..3u32)
+            .map(|i| {
+                (
+                    ReplicaId(i),
+                    kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(8))),
+                )
+            })
+            .collect();
+        let newer = TimeoutCert { view: View(8), sigs };
+        let t = SimTime::ZERO + SimDuration::from_millis(70);
+        assert_eq!(pm.on_tc(&newer, &reg, t, &mut out), Some(View(8)), "released forward");
+        assert!(!pm.is_awaiting_tc());
+        assert_eq!(pm.deadline(View(8), t), t + cfg.view_timer);
+        // A *stale* TC (below the awaited boundary) must not release.
+        let mut pm2 = Pacemaker::new(cfg.clone(), ReplicaId(0), SimTime::ZERO);
+        pm2.completed_view(View(4), &kps[0], &mut out);
+        let old_sigs: Vec<_> = (0..3u32)
+            .map(|i| {
+                (
+                    ReplicaId(i),
+                    kps[i as usize].sign(domains::WISH, &TimeoutCert::signing_bytes(View(2))),
+                )
+            })
+            .collect();
+        let old = TimeoutCert { view: View(2), sigs: old_sigs };
+        assert_eq!(pm2.on_tc(&old, &reg, t, &mut out), None);
+        assert!(pm2.is_awaiting_tc(), "stale TC leaves the waiter parked");
     }
 
     #[test]

@@ -830,7 +830,11 @@ impl Replica for SlottedEngine {
             Message::Tc(tc) => {
                 let reg = self.core.registry.clone();
                 if let Some(v) = self.pm.on_tc(&tc, &reg, now, out) {
-                    if self.awaiting_tc && self.view == v {
+                    // A newer epoch's TC un-parks a replica whose own
+                    // epoch TC was lost beyond recovery (Pacemaker docs).
+                    if self.awaiting_tc && v >= self.view {
+                        self.view = v;
+                        self.tally = None;
                         self.enter_view(now, out);
                     }
                 }

@@ -28,6 +28,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use crate::mesh::{Inbound, Mesh};
+use hs1_adversary::AdversaryMutator;
 use hs1_core::persist::RecoveredState;
 use hs1_core::replica::{Action, Replica, Timer};
 use hs1_crypto::Sha256;
@@ -62,6 +63,11 @@ pub struct NodeRunner {
     timer_seq: u64,
     /// Snapshot serving side (installed for every durable node).
     server: Option<SnapshotServer>,
+    /// Adversary layer over the *node-owned* outbound paths (snapshot
+    /// serving lives outside the engine; engine traffic is made
+    /// adversarial by wrapping the engine in
+    /// `hs1_adversary::AdversaryEngine` instead).
+    adversary: Option<AdversaryMutator>,
     /// Storage held back until the sync phase decides what to install
     /// (`with_state_sync` only; `with_storage` installs immediately).
     pending_sync: Option<(ReplicaStorage, StateSyncConfig)>,
@@ -87,6 +93,7 @@ impl NodeRunner {
             timers: BinaryHeap::new(),
             timer_seq: 0,
             server: None,
+            adversary: None,
             pending_sync: None,
             deferred: Vec::new(),
             committed_blocks: 0,
@@ -139,11 +146,28 @@ impl NodeRunner {
         Ok(runner)
     }
 
-    /// Byzantine fault injection for tests and demos: serve corrupted
-    /// snapshot chunks (syncing peers must reject them and rotate away).
-    pub fn corrupt_snapshot_chunks(&mut self) {
-        if let Some(server) = &mut self.server {
-            server.inject_corruption(true);
+    /// Route the node-owned outbound paths (snapshot serving) through an
+    /// `hs1-adversary` mutator — e.g. `AdversaryStrategy::CorruptSnapshot`
+    /// makes this node serve chunks that fail the manifest's CRC index,
+    /// which syncing peers must reject and rotate away from. One
+    /// implementation serves the simulator and the TCP stack; see
+    /// `hs1_adversary::AdversaryEngine` for the engine-traffic half.
+    pub fn set_adversary(&mut self, mutator: AdversaryMutator) {
+        self.adversary = Some(mutator);
+    }
+
+    /// Serve a snapshot response, mutated by the adversary layer when one
+    /// is installed.
+    fn serve_snapshot(&mut self, to: ReplicaId, msg: &Message) {
+        let Some(server) = &mut self.server else { return };
+        let Some(resp) = server.handle(msg) else { return };
+        match &mut self.adversary {
+            Some(adv) => {
+                for (t, m) in adv.mutate(to, resp) {
+                    self.mesh.send_replica(t, m);
+                }
+            }
+            None => self.mesh.send_replica(to, resp),
         }
     }
 
@@ -231,11 +255,7 @@ impl NodeRunner {
                 // Serving side of state sync lives at the node layer;
                 // engines never see snapshot traffic.
                 Message::SnapshotReq(_) | Message::SnapshotChunkReq(_) => {
-                    if let Some(server) = &mut self.server {
-                        if let Some(resp) = server.handle(&msg) {
-                            self.mesh.send_replica(from, resp);
-                        }
-                    }
+                    self.serve_snapshot(from, &msg);
                 }
                 // Stale sync-phase replies (e.g. a slow manifest).
                 Message::SnapshotManifest(_) | Message::SnapshotChunk(_) => {}
@@ -292,11 +312,7 @@ impl NodeRunner {
                         client.on_message(from, &msg, Instant::now(), &mut out);
                     }
                     Message::SnapshotReq(_) | Message::SnapshotChunkReq(_) => {
-                        if let Some(server) = &mut self.server {
-                            if let Some(resp) = server.handle(&msg) {
-                                self.mesh.send_replica(from, resp);
-                            }
-                        }
+                        self.serve_snapshot(from, &msg);
                     }
                     _ => self.deferred.push(Inbound::FromReplica(from, msg)),
                 },

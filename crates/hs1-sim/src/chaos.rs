@@ -16,6 +16,7 @@
 //! data, not code paths, and the schedule is explored by sweeping seeds
 //! (`hs1-chaos`), not by hand-picking scenarios.
 
+use hs1_adversary::AdversaryStrategy;
 use hs1_types::{SimDuration, SimTime, SplitMix64};
 
 /// Per-ordered-link fault probabilities (replica → replica messages; the
@@ -42,6 +43,12 @@ pub enum ChaosEventKind {
     /// Kill replica `r`: its process state is lost, messages to and from
     /// it are dropped, only its on-disk journal/checkpoints survive.
     Crash { replica: u32 },
+    /// Flip `flips` seeded bits across replica `r`'s journal segments and
+    /// checkpoints while it is down (storage bit rot). The strengthened
+    /// recovery oracle: the subsequent restart must either fail-stop or
+    /// restore a clean prefix of the pre-crash chain — never silently
+    /// diverge.
+    BitRot { replica: u32, flips: u32 },
     /// Restart replica `r` through `hs1-storage` recovery.
     Restart { replica: u32 },
 }
@@ -55,6 +62,7 @@ impl ChaosEventKind {
             }
             ChaosEventKind::PartitionHeal => "h".to_string(),
             ChaosEventKind::Crash { replica } => format!("c{replica}"),
+            ChaosEventKind::BitRot { replica, flips } => format!("b{replica}x{flips}"),
             ChaosEventKind::Restart { replica } => format!("r{replica}"),
         }
     }
@@ -89,6 +97,20 @@ pub struct ChaosConfig {
     pub downtime: SimDuration,
     /// Faults start no earlier than this (let the run warm up).
     pub start: SimDuration,
+    /// Max adversarial backups; the seed draws `0..=min(this, f)` of
+    /// them, with a seed-chosen in-model strategy each (see
+    /// `hs1-adversary`). Combined with crash windows, the *union* of
+    /// adversarial and crashing replicas stays ≤ f: when adversaries are
+    /// active, crash windows target an adversary — chaos explores
+    /// schedules within the fault model, it does not exceed it.
+    pub adversaries: usize,
+    /// Bits flipped in the crashing replica's journal/checkpoint files
+    /// mid-window (0 disables the bit-rot axis).
+    pub bitrot_flips: u32,
+    /// Max per-replica timer-rate deviation (0.03 = clocks run up to
+    /// ±3% fast/slow). The pacemaker's epoch synchronization must keep
+    /// post-GST liveness despite replicas drifting apart.
+    pub skew_max: f64,
 }
 
 impl Default for ChaosConfig {
@@ -103,6 +125,9 @@ impl Default for ChaosConfig {
             crashes: 1,
             downtime: SimDuration::from_millis(150),
             start: SimDuration::from_millis(100),
+            adversaries: 1,
+            bitrot_flips: 4,
+            skew_max: 0.03,
         }
     }
 }
@@ -116,6 +141,12 @@ impl ChaosConfig {
     /// Clean links — only scheduled partition/crash events.
     pub fn events_only() -> ChaosConfig {
         ChaosConfig { drop_p: 0.0, dup_p: 0.0, reorder_p: 0.0, ..ChaosConfig::default() }
+    }
+
+    /// Disable the adversary, bit-rot, and clock-skew axes (tests that
+    /// isolate one legacy axis).
+    pub fn without_new_axes(self) -> ChaosConfig {
+        ChaosConfig { adversaries: 0, bitrot_flips: 0, skew_max: 0.0, ..self }
     }
 }
 
@@ -136,6 +167,13 @@ pub struct ChaosPlan {
     pub reorder_delay: SimDuration,
     /// Scheduled transitions, sorted by time.
     pub events: Vec<ChaosEvent>,
+    /// Per-replica timer-rate factors (clock skew; 1.0 everywhere means
+    /// no skew and changes nothing).
+    pub skew: Vec<f64>,
+    /// Adversarial backups active for the whole run: `(replica,
+    /// strategy)`, at most `f` of them, wrapped around the engine by the
+    /// scenario (see `hs1-adversary`).
+    pub adversaries: Vec<(u32, AdversaryStrategy)>,
 }
 
 impl ChaosPlan {
@@ -147,6 +185,8 @@ impl ChaosPlan {
             links: vec![vec![LinkFault::default(); n]; n],
             reorder_delay: SimDuration::ZERO,
             events: Vec::new(),
+            skew: vec![1.0; n],
+            adversaries: Vec::new(),
         }
     }
 
@@ -176,10 +216,38 @@ impl ChaosPlan {
             }
         }
 
+        let f = (n - 1) / 3;
+
+        // Adversarial backups: 0..=min(cap, f) replicas, each playing a
+        // seed-chosen in-model strategy for the whole run. Drawn from an
+        // own fork so the link/event derivations above/below are
+        // unperturbed by this axis.
+        let mut adv_rng = base.fork(3);
+        let adv_cap = cfg.adversaries.min(f);
+        if adv_cap > 0 {
+            let k = adv_rng.next_range(adv_cap as u64 + 1) as usize;
+            let strategies = AdversaryStrategy::IN_MODEL;
+            plan.adversaries = adv_rng
+                .sample_indices(n, k)
+                .into_iter()
+                .map(|r| {
+                    let s = strategies[adv_rng.next_range(strategies.len() as u64) as usize];
+                    (r as u32, s)
+                })
+                .collect();
+        }
+
+        // Clock skew: per-replica timer-rate factors in [1−max, 1+max].
+        let mut skew_rng = base.fork(4);
+        if cfg.skew_max > 0.0 {
+            for rate in plan.skew.iter_mut() {
+                *rate = 1.0 + cfg.skew_max * (2.0 * skew_rng.next_f64() - 1.0);
+            }
+        }
+
         // Slot partition and crash windows sequentially into the active
         // span with seed-chosen gaps, so windows never overlap each other.
         let mut ev_rng = base.fork(2);
-        let f = (n - 1) / 3;
         let mut cursor = SimTime::ZERO + cfg.start;
         let mut windows: Vec<(SimDuration, bool)> = Vec::new();
         for _ in 0..cfg.partitions {
@@ -203,8 +271,26 @@ impl ChaosPlan {
                 plan.events.push(ChaosEvent { at, kind: ChaosEventKind::PartitionStart { side } });
                 plan.events.push(ChaosEvent { at: end, kind: ChaosEventKind::PartitionHeal });
             } else if !is_partition {
-                let replica = ev_rng.next_range(n as u64) as u32;
+                // With adversaries active, crash windows target an
+                // adversary: the union of Byzantine and crashing replicas
+                // must stay ≤ f, or a vote-damaging adversary plus a
+                // fail-stopped honest disk would exceed the fault model.
+                let replica = if plan.adversaries.is_empty() {
+                    ev_rng.next_range(n as u64) as u32
+                } else {
+                    let pick = ev_rng.next_range(plan.adversaries.len() as u64) as usize;
+                    plan.adversaries[pick].0
+                };
                 plan.events.push(ChaosEvent { at, kind: ChaosEventKind::Crash { replica } });
+                // Roughly half the crash windows also rot the downed
+                // replica's disk, so the sweep covers clean recovery and
+                // corrupted recovery in the same seed range.
+                if cfg.bitrot_flips > 0 && ev_rng.chance(0.5) {
+                    plan.events.push(ChaosEvent {
+                        at: at + SimDuration(len.0 / 2),
+                        kind: ChaosEventKind::BitRot { replica, flips: cfg.bitrot_flips },
+                    });
+                }
                 plan.events.push(ChaosEvent { at: end, kind: ChaosEventKind::Restart { replica } });
             }
             cursor = end;
@@ -221,6 +307,33 @@ impl ChaosPlan {
     /// Does the schedule crash (and restart) any replica?
     pub fn has_crashes(&self) -> bool {
         self.events.iter().any(|e| matches!(e.kind, ChaosEventKind::Crash { .. }))
+    }
+
+    /// Does the schedule rot any replica's storage?
+    pub fn has_bitrot(&self) -> bool {
+        self.events.iter().any(|e| matches!(e.kind, ChaosEventKind::BitRot { .. }))
+    }
+
+    /// Does any replica's clock run fast or slow?
+    pub fn skew_active(&self) -> bool {
+        self.skew.iter().any(|&r| r != 1.0)
+    }
+
+    /// The plan with every clock back at nominal rate (shrinking).
+    pub fn without_skew(&self) -> ChaosPlan {
+        let mut plan = self.clone();
+        plan.skew = vec![1.0; self.n];
+        plan
+    }
+
+    /// The plan minus adversary `idx` (shrinking: adversaries drop one at
+    /// a time toward a minimal failing plan).
+    pub fn without_adversary(&self, idx: usize) -> ChaosPlan {
+        let mut plan = self.clone();
+        if idx < plan.adversaries.len() {
+            plan.adversaries.remove(idx);
+        }
+        plan
     }
 
     /// Time of the last scheduled transition (liveness is checked after
@@ -240,6 +353,19 @@ impl ChaosPlan {
         for (i, ev) in self.events.iter().enumerate() {
             match &ev.kind {
                 ChaosEventKind::PartitionStart { .. } => open_partition = Some(units.len()),
+                ChaosEventKind::BitRot { replica, .. } => {
+                    // Bit rot belongs to the crash window it falls inside:
+                    // removing a crash without its rot (or vice versa)
+                    // would change the fault, not shrink the schedule.
+                    if let Some(&(_, u)) = open_crash.iter().find(|(r, _)| r == replica) {
+                        if let Some(unit) = units.get_mut(u) {
+                            unit.push(i);
+                            continue;
+                        }
+                    }
+                    units.push(vec![i]);
+                    continue;
+                }
                 ChaosEventKind::PartitionHeal => {
                     if let Some(u) = open_partition.take() {
                         if let Some(unit) = units.get_mut(u) {
@@ -297,14 +423,14 @@ impl ChaosPlan {
         plan
     }
 
-    /// Total fault mass: events plus active link axes (shrinking
-    /// progress metric).
+    /// Total fault mass: events plus active link axes, adversaries, and
+    /// the skew axis (shrinking progress metric).
     pub fn weight(&self) -> usize {
         let axes = [LinkAxis::Drop, LinkAxis::Dup, LinkAxis::Reorder]
             .iter()
             .filter(|a| self.axis_active(**a))
             .count();
-        self.events.len() + axes
+        self.events.len() + axes + self.adversaries.len() + usize::from(self.skew_active())
     }
 
     /// Is `axis` nonzero on any link?
@@ -339,6 +465,23 @@ impl ChaosPlan {
             s.push_str(";links=");
             s.push_str(&link_parts.join(","));
         }
+        if self.skew_active() {
+            // Exact f64 bit patterns, like the link probabilities: a
+            // replayed run must scale timers bit-identically.
+            let rates: Vec<String> =
+                self.skew.iter().map(|r| format!("{:x}", r.to_bits())).collect();
+            s.push_str(";skew=");
+            s.push_str(&rates.join("+"));
+        }
+        if !self.adversaries.is_empty() {
+            let advs: Vec<String> = self
+                .adversaries
+                .iter()
+                .map(|(r, strat)| format!("{r}:{}", strat.token()))
+                .collect();
+            s.push_str(";adv=");
+            s.push_str(&advs.join(","));
+        }
         if !self.events.is_empty() {
             let evs: Vec<String> =
                 self.events.iter().map(|e| format!("{}@{}", e.kind.spec_token(), e.at.0)).collect();
@@ -355,6 +498,8 @@ impl ChaosPlan {
         let mut rd = 0u64;
         let mut link_str: Option<&str> = None;
         let mut ev_str: Option<&str> = None;
+        let mut skew_str: Option<&str> = None;
+        let mut adv_str: Option<&str> = None;
         for (i, part) in spec.trim().split(';').enumerate() {
             if i == 0 {
                 if part != "v1" {
@@ -368,6 +513,8 @@ impl ChaosPlan {
                 "n" => n = Some(val.parse::<usize>().map_err(|e| e.to_string())?),
                 "rd" => rd = val.parse::<u64>().map_err(|e| e.to_string())?,
                 "links" => link_str = Some(val),
+                "skew" => skew_str = Some(val),
+                "adv" => adv_str = Some(val),
                 "ev" => ev_str = Some(val),
                 _ => return Err(format!("unknown field {key:?}")),
             }
@@ -398,6 +545,33 @@ impl ChaosPlan {
                 };
             }
         }
+        if let Some(ss) = skew_str {
+            let rates: Vec<&str> = ss.split('+').collect();
+            if rates.len() != n {
+                return Err(format!("skew has {} rates, n={n}", rates.len()));
+            }
+            for (i, r) in rates.iter().enumerate() {
+                let bits = u64::from_str_radix(r, 16).map_err(|_| "bad skew bits")?;
+                let rate = f64::from_bits(bits);
+                if !(0.5..=2.0).contains(&rate) {
+                    return Err(format!("implausible skew rate {rate} for replica {i}"));
+                }
+                plan.skew[i] = rate;
+            }
+        }
+        if let Some(advs) = adv_str {
+            for entry in advs.split(',') {
+                let (r, tok) =
+                    entry.split_once(':').ok_or_else(|| format!("bad adversary {entry:?}"))?;
+                let replica: u32 = r.parse().map_err(|_| "bad adversary replica")?;
+                if replica as usize >= n {
+                    return Err(format!("adversary replica {replica} out of range (n={n})"));
+                }
+                let strategy = AdversaryStrategy::parse(tok)
+                    .ok_or_else(|| format!("unknown adversary strategy {tok:?}"))?;
+                plan.adversaries.push((replica, strategy));
+            }
+        }
         if let Some(es) = ev_str {
             for entry in es.split(',') {
                 let (tok, at) =
@@ -426,6 +600,14 @@ impl ChaosPlan {
                     ("c", rest) => ChaosEventKind::Crash {
                         replica: checked(rest.parse().map_err(|_| "bad crash replica")?)?,
                     },
+                    ("b", rest) => {
+                        let (r, flips) =
+                            rest.split_once('x').ok_or_else(|| format!("bad bitrot {tok:?}"))?;
+                        ChaosEventKind::BitRot {
+                            replica: checked(r.parse().map_err(|_| "bad bitrot replica")?)?,
+                            flips: flips.parse().map_err(|_| "bad bitrot flips")?,
+                        }
+                    }
                     ("r", rest) => ChaosEventKind::Restart {
                         replica: checked(rest.parse().map_err(|_| "bad restart replica")?)?,
                     },
@@ -454,7 +636,22 @@ impl std::fmt::Display for ChaosPlan {
             .flatten()
             .filter(|l| l.drop > 0.0 || l.dup > 0.0 || l.reorder > 0.0)
             .count();
-        write!(f, "chaos(seed={}, n={}, faulty-links={}, events=[", self.seed, self.n, active)?;
+        write!(f, "chaos(seed={}, n={}, faulty-links={}", self.seed, self.n, active)?;
+        if self.skew_active() {
+            let worst = self.skew.iter().map(|r| (r - 1.0).abs()).fold(0.0f64, f64::max);
+            write!(f, ", skew=±{:.1}%", worst * 100.0)?;
+        }
+        if !self.adversaries.is_empty() {
+            write!(f, ", adversaries=[")?;
+            for (i, (r, s)) in self.adversaries.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{r}:{}", s.name())?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ", events=[")?;
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
@@ -616,6 +813,144 @@ mod tests {
         assert_eq!(plan.weight(), 0);
         assert!(!plan.has_link_faults());
         assert!(!plan.has_crashes());
+        assert!(!plan.has_bitrot());
+        assert!(!plan.skew_active());
+        assert!(plan.adversaries.is_empty());
         assert!(plan.last_event_time().is_none());
+    }
+
+    #[test]
+    fn adversaries_stay_within_f_and_crashes_target_them() {
+        let cfg = ChaosConfig { crashes: 2, ..ChaosConfig::default() };
+        let mut saw_adversary = false;
+        for seed in 0..48 {
+            let plan =
+                ChaosPlan::generate(seed, &cfg, 4, SimTime::ZERO + SimDuration::from_secs(4));
+            assert!(plan.adversaries.len() <= 1, "≤ f adversaries for n=4");
+            if plan.adversaries.is_empty() {
+                continue;
+            }
+            saw_adversary = true;
+            let adv: Vec<u32> = plan.adversaries.iter().map(|(r, _)| *r).collect();
+            for ev in &plan.events {
+                if let ChaosEventKind::Crash { replica } | ChaosEventKind::BitRot { replica, .. } =
+                    &ev.kind
+                {
+                    assert!(
+                        adv.contains(replica),
+                        "seed {seed}: crash/rot of {replica} outside the adversary set {adv:?}"
+                    );
+                }
+            }
+        }
+        assert!(saw_adversary, "some seeds draw an adversary");
+    }
+
+    #[test]
+    fn bitrot_rides_inside_crash_windows() {
+        let cfg = ChaosConfig { partitions: 0, crashes: 3, ..ChaosConfig::events_only() };
+        let mut saw_rot = false;
+        for seed in 0..16 {
+            let plan =
+                ChaosPlan::generate(seed, &cfg, 4, SimTime::ZERO + SimDuration::from_secs(4));
+            let mut down: Option<u32> = None;
+            for ev in &plan.events {
+                match &ev.kind {
+                    ChaosEventKind::Crash { replica } => down = Some(*replica),
+                    ChaosEventKind::Restart { .. } => down = None,
+                    ChaosEventKind::BitRot { replica, flips } => {
+                        saw_rot = true;
+                        assert_eq!(down, Some(*replica), "rot only while the replica is down");
+                        assert_eq!(*flips, cfg.bitrot_flips);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_rot, "bit rot scheduled in some windows");
+    }
+
+    #[test]
+    fn skew_rates_bounded_by_config() {
+        let cfg = ChaosConfig { skew_max: 0.05, ..ChaosConfig::default() };
+        let plan = ChaosPlan::generate(9, &cfg, 4, horizon());
+        assert!(plan.skew_active());
+        for r in &plan.skew {
+            assert!((*r - 1.0).abs() <= 0.05 + 1e-12, "rate {r} within ±5%");
+        }
+        let none = ChaosConfig { skew_max: 0.0, ..ChaosConfig::default() };
+        let flat = ChaosPlan::generate(9, &none, 4, horizon());
+        assert!(!flat.skew_active(), "skew_max 0 leaves every clock at 1.0 exactly");
+    }
+
+    #[test]
+    fn new_axes_roundtrip_through_spec() {
+        let cfg = ChaosConfig { crashes: 2, ..ChaosConfig::default() };
+        let mut covered = false;
+        for seed in 0..24 {
+            let plan =
+                ChaosPlan::generate(seed, &cfg, 4, SimTime::ZERO + SimDuration::from_secs(3));
+            let back = ChaosPlan::from_spec(&plan.to_spec()).expect("spec parses");
+            assert_eq!(plan, back, "seed {seed} roundtrips bit-exactly");
+            covered |= !plan.adversaries.is_empty() && plan.has_bitrot();
+        }
+        assert!(covered, "some seed exercised adversaries + bitrot in the roundtrip");
+    }
+
+    #[test]
+    fn spec_rejects_bad_new_fields() {
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;adv=9:eq").is_err(), "adversary range");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;adv=1:zz").is_err(), "unknown strategy");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;ev=b9x2@5").is_err(), "bitrot range");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;ev=b1@5").is_err(), "malformed bitrot");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;skew=0+0+0+0").is_err(), "implausible rate");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;skew=3ff0000000000000").is_err(), "arity");
+        assert!(ChaosPlan::from_spec("v1;seed=1;n=4;adv=1:cs;ev=b1x3@5").is_ok());
+    }
+
+    #[test]
+    fn shrink_helpers_drop_adversaries_and_skew() {
+        let cfg = ChaosConfig { adversaries: 1, ..ChaosConfig::default() };
+        let mut plan = ChaosPlan::generate(2, &cfg, 4, horizon());
+        plan.adversaries = vec![(1, AdversaryStrategy::Equivocate)];
+        let w = plan.weight();
+        let no_adv = plan.without_adversary(0);
+        assert!(no_adv.adversaries.is_empty());
+        assert_eq!(no_adv.weight(), w - 1);
+        if plan.skew_active() {
+            let no_skew = no_adv.without_skew();
+            assert!(!no_skew.skew_active());
+            assert_eq!(no_skew.weight(), no_adv.weight() - 1);
+        }
+    }
+
+    #[test]
+    fn removable_units_keep_bitrot_with_its_crash() {
+        let cfg =
+            ChaosConfig { partitions: 1, crashes: 2, bitrot_flips: 3, ..ChaosConfig::default() };
+        for seed in 0..16 {
+            let plan =
+                ChaosPlan::generate(seed, &cfg, 4, SimTime::ZERO + SimDuration::from_secs(4));
+            if !plan.has_bitrot() {
+                continue;
+            }
+            for unit in plan.removable_units() {
+                let removed = plan.without_events(&unit);
+                // No unit removal may strand a BitRot outside a window.
+                let mut down: Option<u32> = None;
+                for ev in &removed.events {
+                    match &ev.kind {
+                        ChaosEventKind::Crash { replica } => down = Some(*replica),
+                        ChaosEventKind::Restart { .. } => down = None,
+                        ChaosEventKind::BitRot { replica, .. } => {
+                            assert_eq!(down, Some(*replica), "seed {seed}: stranded bitrot");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let total: usize = plan.removable_units().iter().map(|u| u.len()).sum();
+            assert_eq!(total, plan.events.len());
+        }
     }
 }

@@ -13,6 +13,7 @@ use crate::cost::CostModel;
 use crate::net::NetModel;
 use crate::oracle::{ClientOracle, LatencyHist};
 use crate::statesync::CatchupModel;
+use hs1_adversary::AdversaryStrategy;
 use hs1_core::common::{SharedMempool, TxSource};
 use hs1_core::persist::{Persistence, RecoveredState};
 use hs1_core::replica::{Action, Replica, Timer};
@@ -60,6 +61,16 @@ pub struct ChaosStats {
     pub snapshot_syncs: u64,
     /// Restarts that caught up through per-block fetch replay.
     pub replay_catchups: u64,
+    /// Bit-rot events applied to a downed replica's storage.
+    pub bitrot_events: u64,
+    /// Recoveries that (correctly) fail-stopped on unrecoverable rot —
+    /// the replica stays down rather than rejoining with bad state.
+    pub bitrot_failstops: u64,
+    /// Modeled snapshot-download rotations away from chunk-corrupting
+    /// adversarial peers.
+    pub snapshot_rotations: u64,
+    /// Adversarial backups wrapped around engines this run.
+    pub adversaries: u64,
 }
 
 /// Everything the runner needs to crash-restart replicas mid-run:
@@ -162,6 +173,17 @@ pub struct SimRunner {
     crashed: Vec<bool>,
     /// Bumped at every crash; stale Handle/Timer events are discarded.
     incarnation: Vec<u32>,
+    /// Per-replica timer-rate factors (clock-skew axis; 1.0 = nominal).
+    timer_rate: Vec<f64>,
+    /// Replicas whose on-disk state was rotted since their last crash:
+    /// the recovery oracle switches from "preserve everything" to
+    /// "fail-stop or clean prefix, never silent divergence".
+    bitrot: Vec<bool>,
+    /// Seed the bit-flip positions derive from (the plan seed).
+    chaos_seed: u64,
+    /// Adversary strategy per replica (None = honest), used by the
+    /// modeled snapshot path and the honest-subset oracles.
+    adversary: Vec<Option<AdversaryStrategy>>,
     /// Every proposed block body ever seen (never pruned): the archive a
     /// modeled snapshot install draws bodies from.
     bodies: HashMap<BlockId, Arc<Block>>,
@@ -176,6 +198,9 @@ pub struct SimRunner {
     window_end: SimTime,
     hist: LatencyHist,
     stats: RunStats,
+    /// `HS1_CHAOS_DEBUG` set: trace view entries and commits to stderr
+    /// (chaos-failure forensics; cached so the hot path pays one bool).
+    debug_trace: bool,
 }
 
 impl SimRunner {
@@ -221,6 +246,10 @@ impl SimRunner {
             chaos_rt: None,
             crashed: vec![false; n],
             incarnation: vec![0; n],
+            timer_rate: vec![1.0; n],
+            bitrot: vec![false; n],
+            chaos_seed: 0,
+            adversary: vec![None; n],
             bodies: HashMap::new(),
             precrash: HashMap::new(),
             liveness_mark: None,
@@ -228,6 +257,7 @@ impl SimRunner {
             window_end: SimTime::MAX,
             hist: LatencyHist::default(),
             stats: RunStats::default(),
+            debug_trace: std::env::var_os("HS1_CHAOS_DEBUG").is_some(),
         }
     }
 
@@ -245,9 +275,31 @@ impl SimRunner {
             assert!(rt.is_some(), "a plan with crash events needs a ChaosRuntime");
         }
         self.chaos_rt = rt;
+        self.chaos_seed = plan.seed;
+        if plan.skew.len() == self.n() {
+            self.timer_rate = plan.skew.clone();
+        }
+        self.note_adversaries(
+            &plan.adversaries.iter().map(|&(r, s)| (r as usize, s)).collect::<Vec<_>>(),
+        );
         for ev in &plan.events {
             self.push(ev.at, Ev::Chaos { kind: ev.kind.clone() });
         }
+    }
+
+    /// Record which replicas run behind an adversary wrapper (the
+    /// scenario wraps them; the runner needs the placement for the
+    /// modeled snapshot path and the honest-subset oracles). Overrides
+    /// whatever the installed plan declared — the scenario passes the
+    /// merged plan + explicit set.
+    pub fn note_adversaries(&mut self, set: &[(usize, AdversaryStrategy)]) {
+        self.adversary = vec![None; self.n()];
+        for &(r, s) in set {
+            if r < self.n() {
+                self.adversary[r] = Some(s);
+            }
+        }
+        self.stats.chaos.adversaries = set.len() as u64;
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
@@ -410,8 +462,58 @@ impl SimRunner {
                 self.liveness_mark = Some((self.now, self.stats.committed_blocks));
             }
             ChaosEventKind::Crash { replica } => self.crash_replica(replica as usize),
+            ChaosEventKind::BitRot { replica, flips } => self.apply_bitrot(replica, flips),
             ChaosEventKind::Restart { replica } => self.restart_replica(replica as usize),
         }
+    }
+
+    /// Storage bit rot: flip `flips` seeded bits across the downed
+    /// replica's journal segments and checkpoints. Only meaningful while
+    /// the replica is down (a live journal holds open handles and would
+    /// not reread the flipped regions until recovery anyway).
+    fn apply_bitrot(&mut self, replica: u32, flips: u32) {
+        let i = replica as usize;
+        if i >= self.n() || !self.crashed[i] {
+            return;
+        }
+        let Some(rt) = self.chaos_rt.as_ref() else { return };
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(&rt.dirs[i]) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .map(|n| n.starts_with("wal-") || n.starts_with("ckpt-"))
+                        .unwrap_or(false)
+                })
+                .collect(),
+            Err(_) => return,
+        };
+        files.sort();
+        if files.is_empty() {
+            return;
+        }
+        // Positions derive from the plan seed (+ a per-event counter), so
+        // a replayed run flips the same bits in the same files.
+        let mut rng = SplitMix64::new(
+            self.chaos_seed
+                ^ 0xb17_1207
+                ^ ((replica as u64) << 40)
+                ^ self.stats.chaos.bitrot_events,
+        );
+        for _ in 0..flips {
+            let path = &files[rng.next_range(files.len() as u64) as usize];
+            let Ok(mut bytes) = std::fs::read(path) else { continue };
+            if bytes.is_empty() {
+                continue;
+            }
+            let off = rng.next_range(bytes.len() as u64) as usize;
+            bytes[off] ^= 1u8 << rng.next_range(8);
+            let _ = std::fs::write(path, bytes);
+        }
+        self.bitrot[i] = true;
+        self.stats.chaos.bitrot_events += 1;
     }
 
     /// Kill replica `i`: all process state is gone (the engine is swapped
@@ -445,24 +547,51 @@ impl SimRunner {
         }
         let Some(rt) = self.chaos_rt.as_ref() else { return };
         self.stats.chaos.restarts += 1;
+        let rotted = self.bitrot[i];
         let (state, mut storage) = match ReplicaStorage::open(&rt.dirs[i], rt.storage) {
             Ok(v) => v,
             Err(e) => {
-                // A replica that cannot recover its journal stays down —
-                // and the sweep surfaces it as a finding.
-                self.stats.invariant_violations.push(format!("replica {i} recovery failed: {e}"));
+                if rotted {
+                    // Fail-stop is the *correct* answer to unrecoverable
+                    // rot: the replica stays down (within the f budget —
+                    // rot only targets the crashing replica) rather than
+                    // rejoining on corrupt state. Liveness must resume
+                    // among the remaining n − 1.
+                    self.stats.chaos.bitrot_failstops += 1;
+                    self.liveness_mark = Some((self.now, self.stats.committed_blocks));
+                } else {
+                    // A replica that cannot recover a *clean* journal is
+                    // a finding the sweep surfaces.
+                    self.stats
+                        .invariant_violations
+                        .push(format!("replica {i} recovery failed: {e}"));
+                }
                 return;
             }
         };
+        self.bitrot[i] = false;
         let mut engine = (rt.rebuild)(i);
         engine.restore(state);
 
         // Commits must survive a crash: the recovered chain extends (or
         // equals) what was committed at crash time, and replaying it
-        // reproduces the same state root.
+        // reproduces the same state root. Under bit rot the oracle is the
+        // weaker "fail-stop or clean prefix": CRC-detected corruption may
+        // truncate the recovered chain, but what survives must still be a
+        // prefix of the pre-crash chain — never a silent divergence.
         if let Some((pre_chain, pre_root)) = self.precrash.remove(&i) {
             let recovered = engine.committed_chain();
-            if !recovered.starts_with(&pre_chain) {
+            if rotted {
+                if !pre_chain.starts_with(&recovered) && !recovered.starts_with(&pre_chain) {
+                    self.stats.invariant_violations.push(format!(
+                        "replica {i} bit-rot recovery silently diverged from its own history"
+                    ));
+                } else if recovered == pre_chain && engine.state_root() != pre_root {
+                    self.stats.invariant_violations.push(format!(
+                        "replica {i} bit-rot recovery diverged in state at equal chain"
+                    ));
+                }
+            } else if !recovered.starts_with(&pre_chain) {
                 self.stats.invariant_violations.push(format!(
                     "replica {i} recovery lost committed blocks ({} -> {})",
                     pre_chain.len(),
@@ -492,8 +621,20 @@ impl SimRunner {
         model.state_entries = model.chain_len * model.txs_per_block;
         let threshold = rt.catchup_threshold.unwrap_or_else(|| model.crossover_blocks());
 
+        // The f+1-manifest trust boundary under adversaries: snapshot
+        // agreement needs f+1 *honest* up peers behind one manifest key
+        // (a chunk-corrupting adversary serves an honest manifest — its
+        // lie is only detectable per chunk). Without that margin, the
+        // joiner falls back to per-block replay.
+        let up_peers: Vec<usize> = (0..self.n()).filter(|&p| p != i && !self.crashed[p]).collect();
+        let corrupt_snapshot =
+            |p: &usize| self.adversary[*p] == Some(AdversaryStrategy::CorruptSnapshot);
+        let honest_up = up_peers.iter().filter(|p| !corrupt_snapshot(p)).count();
+        let f = self.n() - self.quorum;
+        let agreement_possible = honest_up > f;
+
         let mut delay = SimDuration::ZERO;
-        if gap > 0 && gap >= threshold {
+        if gap > 0 && gap >= threshold && agreement_possible {
             // Snapshot decision: install the peers' committed suffix as a
             // verified image (bodies come from the runner's archive — the
             // modeled analog of chunk transfer) and charge the modeled
@@ -522,6 +663,17 @@ impl SimRunner {
                 storage.on_view(peer_view);
                 storage.sync();
                 delay = model.snapshot_time();
+                // hs1-statesync downloads from the lowest-id agreeing
+                // peer and rotates on a CRC-failing chunk: every
+                // chunk-corrupting adversary ahead of the first honest
+                // peer costs one rejected chunk round trip before the
+                // ban/rotate moves on.
+                let rotations = up_peers.iter().take_while(|p| corrupt_snapshot(p)).count() as u64;
+                if rotations > 0 {
+                    let per_rotation = model.rtt + model.cost.tx_time(model.chunk_bytes as usize);
+                    delay += per_rotation * rotations;
+                    self.stats.chaos.snapshot_rotations += rotations;
+                }
                 self.stats.chaos.snapshot_syncs += 1;
             } else {
                 // Archive miss (should not happen — every proposal is
@@ -550,13 +702,39 @@ impl SimRunner {
                 Action::SetTimer { timer, at } => {
                     let at =
                         if at <= self.now { self.now + SimDuration::from_nanos(1) } else { at };
+                    // Clock skew: a replica whose clock runs at rate r
+                    // sees every timer interval stretched/compressed by
+                    // r. Exact skip at 1.0 keeps fault-free runs
+                    // bit-identical.
+                    let rate = self.timer_rate[from.0 as usize];
+                    let at = if rate == 1.0 {
+                        at
+                    } else {
+                        // Truncation must not collapse the 1 ns
+                        // forward-progress clamp above to zero.
+                        let delay = at.since(self.now).0 as f64 * rate;
+                        self.now + SimDuration::from_nanos((delay as u64).max(1))
+                    };
                     let inc = self.incarnation[from.0 as usize];
                     self.push(at, Ev::Timer { at: from, timer, inc });
                 }
                 Action::Executed { block, kind, .. } => self.on_executed(from, block, kind),
-                Action::Committed { block } => self.on_committed(block),
+                Action::Committed { block } => {
+                    if self.debug_trace {
+                        eprintln!(
+                            "{:.4} r{} COMMIT h={}",
+                            self.now.as_secs_f64(),
+                            from.0,
+                            self.engines[from.0 as usize].committed_chain().len()
+                        );
+                    }
+                    self.on_committed(block)
+                }
                 Action::RolledBack { blocks } => self.stats.rollbacks += blocks as u64,
-                Action::EnteredView { .. } => {
+                Action::EnteredView { view } => {
+                    if self.debug_trace {
+                        eprintln!("{:.4} r{} VIEW {}", self.now.as_secs_f64(), from.0, view.0);
+                    }
                     if from == ReplicaId(0) {
                         self.stats.views_entered += 1;
                     }
@@ -809,6 +987,9 @@ impl SimRunner {
             self.stats.chaos.dropped_msgs,
             self.stats.chaos.duplicated_msgs,
             self.stats.chaos.snapshot_syncs,
+            self.stats.chaos.bitrot_events,
+            self.stats.chaos.bitrot_failstops,
+            self.stats.chaos.snapshot_rotations,
         ] {
             h = fnv1a(h, &c.to_le_bytes());
         }

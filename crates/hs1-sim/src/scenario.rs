@@ -19,6 +19,7 @@ use crate::net::NetModel;
 use crate::regions::{spread, Region};
 use crate::runner::{ChaosRuntime, ChaosStats, SimRunner};
 use crate::statesync::CatchupModel;
+use hs1_adversary::{AdversaryEngine, AdversaryMutator, AdversaryStrategy};
 use hs1_core::byzantine::Fault;
 use hs1_core::common::SharedMempool;
 use hs1_core::Replica;
@@ -55,6 +56,10 @@ pub struct Scenario {
     pub client_region: Region,
     pub injected: Vec<(usize, SimDuration)>,
     pub faults: Vec<(usize, Fault)>,
+    /// Adversarial backups wrapped around the engines (see
+    /// `hs1-adversary`): explicit entries here are merged with — and
+    /// override — whatever the chaos plan derives.
+    pub adversaries: Vec<(usize, AdversaryStrategy)>,
     pub cost: CostModel,
     /// Deterministic fault schedule (see [`crate::chaos`]).
     pub chaos: Option<ChaosPlan>,
@@ -81,6 +86,7 @@ impl Scenario {
             client_region: Region::NorthVirginia,
             injected: Vec::new(),
             faults: Vec::new(),
+            adversaries: Vec::new(),
             cost: CostModel::default(),
             chaos: None,
             catchup_threshold: None,
@@ -195,6 +201,14 @@ impl Scenario {
         self
     }
 
+    /// Wrap `replica` in an adversary layer playing `strategy` (see
+    /// `hs1-adversary`). The replica's engine stays honest internally;
+    /// its outbound traffic lies.
+    pub fn with_adversary(mut self, replica: usize, strategy: AdversaryStrategy) -> Self {
+        self.adversaries.push((replica, strategy));
+        self
+    }
+
     /// Execute the scenario.
     pub fn run(self) -> Report {
         let mut cfg = SystemConfig::new(self.n);
@@ -222,6 +236,39 @@ impl Scenario {
             WorkloadKind::Tpcc => Box::new(TpccGen::paper_default(self.seed)),
         };
 
+        // Effective adversary placement: the chaos plan's seed-derived
+        // set, with explicit `with_adversary` entries overriding the
+        // same replica.
+        let mut adversaries: Vec<(usize, AdversaryStrategy)> = self
+            .chaos
+            .as_ref()
+            .map(|p| p.adversaries.iter().map(|&(r, s)| (r as usize, s)).collect())
+            .unwrap_or_default();
+        for &(r, s) in &self.adversaries {
+            adversaries.retain(|(pr, _)| *pr != r);
+            adversaries.push((r, s));
+        }
+        let adversary_of = {
+            let adversaries = adversaries.clone();
+            move |i: usize| adversaries.iter().find(|(r, _)| *r == i).map(|&(_, s)| s)
+        };
+        let wrap = {
+            let cfg = cfg.clone();
+            let protocol = self.protocol;
+            let seed = self.seed;
+            move |engine: Box<dyn Replica>, strategy: AdversaryStrategy| -> Box<dyn Replica> {
+                let me = engine.id();
+                let mutator = AdversaryMutator::new(
+                    strategy,
+                    cfg.clone(),
+                    protocol,
+                    me,
+                    seed ^ 0xad5e_ed00 ^ ((me.0 as u64) << 16),
+                );
+                Box::new(AdversaryEngine::new(engine, mutator))
+            }
+        };
+
         let pool = SharedMempool::new();
         let mut engines: Vec<Box<dyn Replica>> = (0..self.n)
             .map(|i| {
@@ -231,14 +278,18 @@ impl Scenario {
                     .find(|(r, _)| *r == i)
                     .map(|(_, fl)| fl.clone())
                     .unwrap_or(Fault::Honest);
-                build_with_source(
+                let engine = build_with_source(
                     self.protocol,
                     cfg.clone(),
                     ReplicaId(i as u32),
                     fault,
                     exec,
                     Box::new(pool.clone()),
-                )
+                );
+                match adversary_of(i) {
+                    Some(strategy) => wrap(engine, strategy),
+                    None => engine,
+                }
             })
             .collect();
 
@@ -273,20 +324,29 @@ impl Scenario {
                     let cfg = cfg.clone();
                     let faults = self.faults.clone();
                     let pool = pool.clone();
+                    let adversary_of = adversary_of.clone();
+                    let wrap = wrap.clone();
                     move |i: usize| {
                         let fault = faults
                             .iter()
                             .find(|(r, _)| *r == i)
                             .map(|(_, fl)| fl.clone())
                             .unwrap_or(Fault::Honest);
-                        build_with_source(
+                        let engine = build_with_source(
                             protocol,
                             cfg.clone(),
                             ReplicaId(i as u32),
                             fault,
                             exec,
                             Box::new(pool.clone()),
-                        )
+                        );
+                        // A restarted adversary stays adversarial: the
+                        // wrapper (with a fresh mutation stream) comes
+                        // back with the rebuilt engine.
+                        match adversary_of(i) {
+                            Some(strategy) => wrap(engine, strategy),
+                            None => engine,
+                        }
                     }
                 };
                 Some(ChaosRuntime {
@@ -317,13 +377,19 @@ impl Scenario {
         if let Some(plan) = &self.chaos {
             runner.install_chaos(plan, chaos_rt);
         }
+        runner.note_adversaries(&adversaries);
         runner.spawn_clients(self.clients);
         runner.run(
             SimDuration::from_secs_f64(self.warmup_seconds),
             SimDuration::from_secs_f64(self.sim_seconds),
         );
-        let honest: Vec<usize> =
-            (0..self.n).filter(|i| !self.faults.iter().any(|(r, _)| r == i)).collect();
+        // The honest set excludes leader-side faults *and* adversarial
+        // backups: the strengthened oracles must hold across honest
+        // replicas under any ≤ f adversary schedule.
+        let honest: Vec<usize> = (0..self.n)
+            .filter(|i| !self.faults.iter().any(|(r, _)| r == i))
+            .filter(|i| !adversaries.iter().any(|(r, _)| r == i))
+            .collect();
         runner.check_prefix_agreement(&honest);
         let fingerprint = runner.fingerprint();
         let replica_views = runner.current_views();

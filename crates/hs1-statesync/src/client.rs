@@ -162,6 +162,13 @@ impl SyncClient {
         self.phase
     }
 
+    /// Peers banned for serving data that failed verification (chunk CRC
+    /// or assembled-root mismatch). Observability for the adversary
+    /// tests and node-level diagnostics.
+    pub fn banned_peers(&self) -> usize {
+        self.banned.len()
+    }
+
     /// The verified image, once `phase()` is [`SyncPhase::Done`].
     pub fn take_synced(&mut self) -> Option<SyncedState> {
         self.result.take()

@@ -1,10 +1,13 @@
 //! Byzantine attack demonstration (paper §7.3): leader slowness and
-//! tail-forking against streamlined HotStuff-1 with and without slotting.
+//! tail-forking against streamlined HotStuff-1 with and without slotting,
+//! plus *backup-side* attacks (equivocal double-votes, vote withholding)
+//! through the `hs1-adversary` message-mutation layer.
 //!
 //! ```text
 //! cargo run --release --example attack_demo
 //! ```
 
+use hotstuff1::adversary::AdversaryStrategy;
 use hotstuff1::consensus::Fault;
 use hotstuff1::sim::{ProtocolKind, Scenario};
 use hotstuff1::types::SimDuration;
@@ -62,4 +65,40 @@ fn main() {
     );
     println!("\nSlotting lets each leader drive many slots per view, so a slow or");
     println!("malicious successor can damage at most the tail of a view (§6.2).");
+
+    println!("\nBackup equivocation (Hellings & Rahnama): 2 Byzantine backups double-vote");
+    println!("across conflicting branches; speculation must absorb it at n = 3f+1");
+    let (eq, _) = run_backup(ProtocolKind::HotStuff1, "HotStuff-1, 2 equivocating backups");
+    let (seq_, _) =
+        run_backup(ProtocolKind::HotStuff1Slotted, "HotStuff-1(slotting), 2 equivocating");
+    println!(
+        "  -> throughput kept: {:.0}% without slotting vs {:.0}% with slotting",
+        100.0 * eq / base,
+        100.0 * seq_ / sbase
+    );
+    println!("\nEvery run above passed the safety/liveness oracles (honest-replica commit");
+    println!("agreement, prefix preservation, state-root convergence): attacks absorbed.");
+}
+
+/// Two adversarial backups (ids 2 and 5 — never-leader positions are not
+/// a thing under round-robin rotation, so they also attack as leaders'
+/// *predecessors*): equivocal votes plus withheld votes, the worst
+/// in-model combination for the vote path.
+fn run_backup(p: ProtocolKind, label: &str) -> (f64, f64) {
+    let r = Scenario::new(p)
+        .replicas(8)
+        .batch_size(100)
+        .clients(200)
+        .view_timer(SimDuration::from_millis(10))
+        .sim_seconds(1.5)
+        .warmup_seconds(0.3)
+        .with_adversary(2, AdversaryStrategy::Equivocate)
+        .with_adversary(5, AdversaryStrategy::WithholdVotes)
+        .run();
+    r.ensure_invariants(label);
+    println!(
+        "  {:<34} {:>10.0} tx/s {:>9.2} ms  (oracle verdict: ABSORBED)",
+        label, r.throughput_tps, r.mean_latency_ms
+    );
+    (r.throughput_tps, r.mean_latency_ms)
 }

@@ -26,6 +26,7 @@
 
 use std::time::Duration;
 
+use hotstuff1::adversary::{AdversaryMutator, AdversaryStrategy};
 use hotstuff1::consensus::{build_replica, Fault};
 use hotstuff1::ledger::ExecConfig;
 use hotstuff1::net::client_driver::ClientDriver;
@@ -82,7 +83,15 @@ fn main() {
                 NodeRunner::with_storage(engine, mesh, &dir, storage_cfg).expect("open storage");
             runner.set_snapshot_chunk_bytes(CHUNK_BYTES);
             if id == 0 {
-                runner.corrupt_snapshot_chunks();
+                // Byzantine serving via the hs1-adversary layer: every
+                // chunk this node serves fails the manifest's CRC index.
+                runner.set_adversary(AdversaryMutator::new(
+                    AdversaryStrategy::CorruptSnapshot,
+                    config(n),
+                    protocol,
+                    ReplicaId(id),
+                    0xc0de,
+                ));
             }
             runner.run_for(total);
             (runner.state_root(), runner.committed_chain_len())

@@ -8,6 +8,8 @@
 //! * [`ledger`] — execution substrate with speculative rollback ([`hs1_ledger`])
 //! * [`workloads`] — YCSB and TPC-C generators ([`hs1_workloads`])
 //! * [`consensus`] — the protocol engines ([`hs1_core`])
+//! * [`adversary`] — backup-side Byzantine strategies as a message-mutation
+//!   layer over any engine ([`hs1_adversary`])
 //! * [`storage`] — durable journal, checkpoints, crash recovery ([`hs1_storage`])
 //! * [`statesync`] — snapshot state transfer for fast catch-up ([`hs1_statesync`])
 //! * [`sim`] — deterministic discrete-event simulator, including the
@@ -32,6 +34,7 @@
 //! assert!(report.invariants_ok());
 //! ```
 
+pub use hs1_adversary as adversary;
 pub use hs1_chaos as chaos;
 pub use hs1_core as consensus;
 pub use hs1_crypto as crypto;

@@ -9,6 +9,7 @@
 use std::net::TcpListener;
 use std::time::Duration;
 
+use hotstuff1::adversary::{AdversaryMutator, AdversaryStrategy};
 use hotstuff1::consensus::{build_replica, Fault};
 use hotstuff1::ledger::ExecConfig;
 use hotstuff1::net::client_driver::ClientDriver;
@@ -256,7 +257,16 @@ fn fresh_replica_joins_via_snapshot_over_tcp() {
                 NodeRunner::with_storage(engine, mesh, &dir, storage_cfg).expect("open storage");
             runner.set_snapshot_chunk_bytes(4096);
             if id == 0 {
-                runner.corrupt_snapshot_chunks();
+                // The adversary layer (hs1-adversary) corrupts every
+                // snapshot chunk this node serves; the joiner must
+                // CRC-reject them and rotate to an honest peer.
+                runner.set_adversary(AdversaryMutator::new(
+                    AdversaryStrategy::CorruptSnapshot,
+                    config(n),
+                    protocol,
+                    ReplicaId(id),
+                    0xc0de,
+                ));
             }
             runner.run_for(total);
             runner.state_root()
