@@ -1,0 +1,118 @@
+//! Batch-execution speedup vs worker count for the conflict-partitioned
+//! parallel executor (`hs1_ledger::par`), on YCSB uniform (conflict-free),
+//! YCSB zipfian (hot keys) and TPC-C (RMW counter chains).
+//!
+//! Two speedup columns per row:
+//!
+//! * `speedup` — measured wall-clock vs the same workload at 1 worker.
+//!   Only meaningful on a multi-core host; a 1-core CI runner reports ~1x
+//!   regardless of worker count (`host_cores` records the context).
+//! * `ideal_speedup` — the wave schedule's critical-path bound
+//!   (`WavePlan::ideal_speedup`), a deterministic figure-of-merit that is
+//!   independent of the host: it shows how much parallelism the *batch*
+//!   admits (conflict-free YCSB ≈ workers, TPC-C collapses toward its
+//!   hot-counter chains).
+//!
+//! The harness hard-fails unless digests and committed state roots are
+//! bit-identical across every worker count — the determinism contract is
+//! checked on every run, not just in the test suite.
+
+use std::time::Instant;
+
+use hs1_bench::FigureSink;
+use hs1_ledger::par;
+use hs1_ledger::{ExecConfig, ExecutionEngine};
+use hs1_types::{BlockId, ClientId, Transaction};
+use hs1_workloads::{TpccGen, Workload, YcsbGen};
+
+const BLOCKS: usize = 6;
+const BATCH: usize = 8192;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Best-of-N timing to shave scheduler noise on shared runners.
+const REPS: usize = 3;
+
+fn gen_blocks(name: &str) -> Vec<Vec<Transaction>> {
+    match name {
+        // Distinct keys per block: zero conflicts, one wave.
+        "ycsb-uniform" => (0..BLOCKS)
+            .map(|b| {
+                (0..BATCH as u64)
+                    .map(|i| {
+                        let key = (b * BATCH) as u64 + i; // < 600k records
+                        Transaction::kv_write(1, i, key, key ^ 0xabcd)
+                    })
+                    .collect()
+            })
+            .collect(),
+        "ycsb-zipfian" => {
+            let mut g = YcsbGen::paper_default(42);
+            (0..BLOCKS)
+                .map(|_| (0..BATCH as u64).map(|i| g.next_tx(ClientId(1), i)).collect())
+                .collect()
+        }
+        "tpcc" => {
+            let mut g = TpccGen::paper_default(42);
+            (0..BLOCKS)
+                .map(|_| (0..BATCH as u64).map(|i| g.next_tx(ClientId(1), i)).collect())
+                .collect()
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+struct Run {
+    digests: Vec<hs1_crypto::Digest>,
+    root: hs1_crypto::Digest,
+    secs: f64,
+}
+
+fn run(blocks: &[Vec<Transaction>], workers: usize) -> Run {
+    let mut best = f64::INFINITY;
+    let mut digests = Vec::new();
+    let mut root = hs1_crypto::Digest([0; 32]);
+    for _ in 0..REPS {
+        let mut e = ExecutionEngine::new(ExecConfig { workers, ..ExecConfig::default() });
+        let t0 = Instant::now();
+        let d: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, txs)| e.execute_committed(BlockId::test(i as u64 + 1), txs))
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        digests = d;
+        root = e.store().committed_store().state_root();
+    }
+    Run { digests, root, secs: best }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sink = FigureSink::with_header(
+        "fig_parallel_exec",
+        "batch execution speedup vs worker count",
+        "workload,workers,batch,blocks,mean_waves,wall_ms,speedup,ideal_speedup,host_cores",
+    );
+    for workload in ["ycsb-uniform", "ycsb-zipfian", "tpcc"] {
+        let blocks = gen_blocks(workload);
+        let plans: Vec<_> = blocks.iter().map(|b| par::schedule(b)).collect();
+        let mean_waves =
+            plans.iter().map(|p| p.waves.len()).sum::<usize>() as f64 / plans.len() as f64;
+        let baseline = run(&blocks, 1);
+        for &w in &WORKER_COUNTS {
+            let r = run(&blocks, w);
+            // The determinism contract, enforced per run.
+            assert_eq!(r.digests, baseline.digests, "{workload}: digest drift at {w} workers");
+            assert_eq!(r.root, baseline.root, "{workload}: state-root drift at {w} workers");
+            let speedup = baseline.secs / r.secs;
+            let ideal = plans.iter().map(|p| p.ideal_speedup(w)).sum::<f64>() / plans.len() as f64;
+            sink.record_raw(format!(
+                "{workload},{w},{BATCH},{BLOCKS},{mean_waves:.1},{:.3},{speedup:.2},{ideal:.2},{host_cores}",
+                r.secs * 1e3,
+            ));
+        }
+    }
+    sink.finish();
+}

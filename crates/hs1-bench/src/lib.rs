@@ -30,10 +30,17 @@ pub struct FigureSink {
 
 impl FigureSink {
     pub fn new(name: &'static str, title: &str) -> FigureSink {
-        println!("=== {name}: {title} ===");
         // Data rows are prefixed with the sweep tag; the header must
         // carry the same leading column or every field parses one off.
-        FigureSink { name, rows: vec![format!("sweep,{}", Report::csv_header())] }
+        FigureSink::with_header(name, title, &format!("sweep,{}", Report::csv_header()))
+    }
+
+    /// A sink with a custom CSV header, for harnesses whose rows are not
+    /// simulator [`Report`]s (e.g. `fig_parallel_exec` measures the
+    /// ledger executor directly).
+    pub fn with_header(name: &'static str, title: &str, header: &str) -> FigureSink {
+        println!("=== {name}: {title} ===");
+        FigureSink { name, rows: vec![header.to_string()] }
     }
 
     /// Record a run: print the human row, log the CSV row tagged with the
@@ -45,8 +52,21 @@ impl FigureSink {
         self.rows.push(format!("{sweep},{}", report.csv_row()));
     }
 
-    /// Write the CSV (best effort — missing dir is created).
+    /// Record a pre-formatted CSV row (custom-header sinks).
+    pub fn record_raw(&mut self, row: String) {
+        println!("  {row}");
+        self.rows.push(row);
+    }
+
+    /// Write the CSV (missing dir is created). A harness that emitted no
+    /// data rows is a broken figure — fail the run loudly instead of
+    /// uploading a header-only CSV that looks like a regenerated figure.
     pub fn finish(self) {
+        assert!(
+            self.rows.len() > 1,
+            "figure harness {} emitted no rows — the figure would be silently empty",
+            self.name
+        );
         let dir = results_dir();
         let _ = fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.csv", self.name));

@@ -281,10 +281,10 @@ impl CoreState {
             let had_digest = self.exec.digest_of(b.id()).is_some();
             let digest = self.exec.execute_committed(b.id(), &b.txs);
             // Respond to clients on commit only if no speculative response
-            // was sent for this block (paper §4.1 commit note). A block
-            // that was speculated *and rolled back* cannot reach here (it
-            // is permanently orphaned), so `had_digest` implies a
-            // speculative response went out.
+            // was sent for this block (paper §4.1 commit note). The
+            // execution engine prunes digests on rollback, so `had_digest`
+            // holds exactly when the block's speculation is still live —
+            // i.e. a speculative response went out and was never revoked.
             if !had_digest {
                 out.push(Action::Executed { block: b.clone(), digest, kind: ReplyKind::Committed });
             }
@@ -499,6 +499,31 @@ mod tests {
         s.speculate(&b1_alt, &mut out);
         assert!(matches!(out[0], Action::RolledBack { blocks: 1 }));
         assert!(matches!(out[1], Action::Executed { kind: ReplyKind::Speculative, .. }));
+    }
+
+    /// Regression (ISSUE 6): after a conflicting speculation rolls a
+    /// block back, re-speculating that block must actually re-execute it
+    /// and re-respond — a stale digest surviving the rollback used to
+    /// make `speculate` return early with no live effects.
+    #[test]
+    fn speculate_after_rollback_reexecutes() {
+        let mut s = state();
+        let b1 = child_of(&s, Block::genesis_id(), 1, 1);
+        let b1_alt = child_of(&s, Block::genesis_id(), 2, 99);
+        s.insert_block(b1.clone());
+        s.insert_block(b1_alt.clone());
+        let mut out = Vec::new();
+        s.speculate(&b1, &mut out);
+        s.speculate(&b1_alt, &mut out); // rolls b1 back
+        out.clear();
+        s.speculate(&b1, &mut out); // rolls b1_alt back, re-executes b1
+        assert!(matches!(out[0], Action::RolledBack { blocks: 1 }));
+        assert!(
+            matches!(&out[1], Action::Executed { block, kind: ReplyKind::Speculative, .. }
+                if block.id() == b1.id()),
+            "rolled-back block re-executes on re-speculation: {out:?}"
+        );
+        assert!(s.exec.is_speculating(b1.id()));
     }
 
     #[test]

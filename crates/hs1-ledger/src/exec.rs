@@ -11,29 +11,50 @@
 //! * [`ExecutionEngine::rollback_conflicting`] — Definition 4.7: discard
 //!   speculated blocks that conflict with a new branch.
 //!
-//! Execution is sequential and integer-only (paper §4.1 "Note on execution
-//! model"), so any two correct replicas produce bit-identical digests.
+//! Execution is integer-only (paper §4.1 "Note on execution model") and
+//! runs through the conflict-partitioned batch executor in [`crate::par`],
+//! whose wave schedule guarantees that any two correct replicas — at any
+//! worker count — produce bit-identical digests and state roots.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use crate::kv::KvStore;
+use crate::par;
 use crate::spec::SpeculativeStore;
-use crate::tpcc;
 use hs1_crypto::{Digest, Sha256};
-use hs1_types::{BlockId, Transaction, TxOp};
+use hs1_types::{BlockId, Transaction};
 
-/// Which logical database the deployment serves.
+/// Default executor worker count: `HS1_EXEC_WORKERS` when set (the CI
+/// thread-count matrix pins 1 and N), else the machine's available
+/// parallelism capped at 8. Any value yields bit-identical results; this
+/// only tunes wall-clock speed.
+pub fn default_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Some(w) = std::env::var("HS1_EXEC_WORKERS").ok().and_then(|s| s.parse().ok()) {
+            return usize::max(w, 1);
+        }
+        std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    })
+}
+
+/// Which logical database the deployment serves, and how wide the
+/// executor's worker pool is.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
     /// YCSB logical record count (the paper uses 600k).
     pub ycsb_records: u64,
     /// TPC-C warehouse count (4 ≈ the paper's 260k records).
     pub tpcc_warehouses: u16,
+    /// Executor worker threads (see [`default_workers`]); results are
+    /// bit-identical at every value, including 1.
+    pub workers: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { ycsb_records: 600_000, tpcc_warehouses: 4 }
+        ExecConfig { ycsb_records: 600_000, tpcc_warehouses: 4, workers: default_workers() }
     }
 }
 
@@ -41,8 +62,13 @@ impl Default for ExecConfig {
 #[derive(Clone, Debug)]
 pub struct ExecutionEngine {
     store: SpeculativeStore,
-    /// Result digest of every executed block (speculative or committed).
+    /// Result digest of every *live* executed block: speculated (not yet
+    /// rolled back) or committed. Rollback prunes the rolled-back blocks'
+    /// entries — a discarded block's digest must not be served again until
+    /// the block is actually re-executed.
     digests: HashMap<BlockId, Digest>,
+    /// Worker threads for the conflict-partitioned batch executor.
+    workers: usize,
     /// Count of transactions executed (including re-executions after
     /// rollback; metric).
     executed_txs: u64,
@@ -56,6 +82,7 @@ impl ExecutionEngine {
         ExecutionEngine {
             store: SpeculativeStore::new(base),
             digests: HashMap::new(),
+            workers: config.workers.max(1),
             executed_txs: 0,
         }
     }
@@ -79,7 +106,11 @@ impl ExecutionEngine {
             return self.digests[&block];
         }
         // Any remaining speculation conflicts with this commit (a
-        // speculated block at the same height on another branch).
+        // speculated block at the same height on another branch): its
+        // digests die with its overlays.
+        for b in self.store.speculated() {
+            self.digests.remove(&b);
+        }
         self.store.rollback_all();
         let digest = self.run_block(block, txs, false);
         self.digests.insert(block, digest);
@@ -88,20 +119,28 @@ impl ExecutionEngine {
 
     /// Roll back every speculated block that is not in `keep` (the new
     /// branch's already-speculated prefix). Returns how many blocks were
-    /// rolled back (Definition 4.7).
+    /// rolled back (Definition 4.7). Rolled-back blocks' digests are
+    /// pruned: a digest must never outlive the effects it attests to.
+    ///
+    /// Linear in the speculation depth (`keep` is hashed once), so a deep
+    /// pipeline pays O(depth), not O(depth²), on the hot rollback path.
     pub fn rollback_conflicting(&mut self, keep: &[BlockId]) -> usize {
         let speculated = self.store.speculated();
-        if speculated.iter().all(|b| keep.contains(b)) {
-            return 0;
-        }
-        // Find the deepest speculated prefix entirely within `keep`.
+        let keep: HashSet<BlockId> = keep.iter().copied().collect();
+        // The deepest speculated prefix entirely within `keep` survives.
         let mut retain = 0;
-        for (i, b) in speculated.iter().enumerate() {
-            if keep.contains(b) && retain == i {
-                retain = i + 1;
+        for b in &speculated {
+            if keep.contains(b) {
+                retain += 1;
             } else {
                 break;
             }
+        }
+        if retain == speculated.len() {
+            return 0;
+        }
+        for b in &speculated[retain..] {
+            self.digests.remove(b);
         }
         if retain == 0 {
             self.store.rollback_all()
@@ -118,8 +157,11 @@ impl ExecutionEngine {
     /// Replace the committed base store with a recovered checkpoint image
     /// (§4.2 recovery). The engine must not be mid-speculation: recovery
     /// installs the checkpoint first and re-derives overlays afterwards.
+    /// All digest bookkeeping is dropped — it described the pre-restore
+    /// history, and recovery re-executes whatever is still live.
     pub fn restore_committed(&mut self, store: KvStore) {
         assert_eq!(self.store.depth(), 0, "restore_committed under active speculation");
+        self.digests.clear();
         self.store = SpeculativeStore::new(store);
     }
 
@@ -142,86 +184,37 @@ impl ExecutionEngine {
 
     // -- internals ---------------------------------------------------------
 
+    /// Execute one block through the conflict-partitioned batch executor
+    /// ([`crate::par`]) and fold the result digest. The digest is a pure
+    /// function of (block id, batch, pre-state): per-transaction result
+    /// values are hashed in batch order regardless of how many workers
+    /// computed them.
     fn run_block(&mut self, block: BlockId, txs: &[Transaction], speculative: bool) -> Digest {
+        let outcome = par::execute_batch(&self.store, txs, self.workers);
+        if speculative {
+            self.store.apply_speculative(outcome.writes);
+        } else {
+            self.store.apply_committed(outcome.writes);
+        }
         let mut h = Sha256::new();
         h.update(b"hs1-exec");
         h.update(&block.0 .0);
-        for tx in txs {
-            let r = self.apply(tx, speculative);
+        for (tx, r) in txs.iter().zip(&outcome.results) {
             h.update_u64(tx.id.client.0 as u64);
             h.update_u64(tx.id.seq);
-            h.update_u64(r);
+            h.update_u64(*r);
         }
         self.executed_txs += txs.len() as u64;
         h.finalize()
-    }
-
-    fn read(&self, key: u64) -> u64 {
-        self.store.get(key).unwrap_or(0)
-    }
-
-    fn write(&mut self, key: u64, value: u64, speculative: bool) {
-        if speculative {
-            self.store.put_speculative(key, value);
-        } else {
-            self.store.put_committed(key, value);
-        }
-    }
-
-    /// Apply one transaction; the returned value feeds the block digest.
-    fn apply(&mut self, tx: &Transaction, speculative: bool) -> u64 {
-        match tx.op {
-            TxOp::KvWrite { key, seed } => {
-                let new = crate::kv::initial_value(seed ^ tx.id.seq);
-                self.write(key, new, speculative);
-                new
-            }
-            TxOp::KvRead { key } => self.read(key),
-            TxOp::TpccNewOrder { warehouse, district, customer, lines, seed } => {
-                // Allocate the next order id for the district.
-                let oid_key = tpcc::district_next_oid(warehouse, district);
-                let oid = self.read(oid_key) as u32;
-                self.write(oid_key, oid as u64 + 1, speculative);
-                let mut total = 0u64;
-                for line in 0..lines {
-                    let item = tpcc::item_for(seed, line);
-                    let stock_key = tpcc::stock_qty(warehouse, item);
-                    let qty = self.read(stock_key);
-                    // Restock when depleted, matching the TPC-C rule
-                    // (s_quantity += 91 when below threshold).
-                    let new_qty = if qty < 10 { qty + 91 } else { qty - 1 };
-                    self.write(stock_key, new_qty, speculative);
-                    let ol_key = tpcc::order_line(warehouse, district, oid, line);
-                    let amount = (item as u64 % 9_999) + 1;
-                    self.write(ol_key, amount, speculative);
-                    total += amount;
-                }
-                // Record the total against the customer's order history
-                // via the digest return value.
-                total ^ ((customer as u64) << 32) ^ oid as u64
-            }
-            TxOp::TpccPayment { warehouse, district, customer, amount_cents } => {
-                let w_key = tpcc::warehouse_ytd(warehouse);
-                self.write(w_key, self.read(w_key) + amount_cents as u64, speculative);
-                let d_key = tpcc::district_ytd(warehouse, district);
-                self.write(d_key, self.read(d_key) + amount_cents as u64, speculative);
-                let bal_key = tpcc::customer_balance(warehouse, district, customer);
-                let bal = self.read(bal_key).wrapping_sub(amount_cents as u64);
-                self.write(bal_key, bal, speculative);
-                let cnt_key = tpcc::customer_payments(warehouse, district, customer);
-                self.write(cnt_key, self.read(cnt_key) + 1, speculative);
-                bal
-            }
-            TxOp::Noop => 0,
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tpcc;
     use hs1_types::tx::TxId;
-    use hs1_types::ClientId;
+    use hs1_types::{ClientId, TxOp};
 
     fn txs(n: u64) -> Vec<Transaction> {
         (0..n).map(|i| Transaction::kv_write(1, i, i * 7, i)).collect()
@@ -341,6 +334,86 @@ mod tests {
         assert_eq!(e.digest_of(BlockId::test(1)), None);
         let d = e.execute_committed(BlockId::test(1), &txs(2));
         assert_eq!(e.digest_of(BlockId::test(1)), Some(d));
+    }
+
+    /// Regression (ISSUE 6): a rolled-back block's digest must be gone
+    /// until the block is re-executed — `digest_of` serving a digest for
+    /// discarded effects let a replica answer for state it no longer had.
+    #[test]
+    fn rollback_prunes_digests_until_reexecution() {
+        let batch = txs(6);
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let d1 = e.execute_speculative(BlockId::test(1), &batch);
+        assert_eq!(e.digest_of(BlockId::test(1)), Some(d1));
+        assert_eq!(e.rollback_conflicting(&[]), 1);
+        assert_eq!(
+            e.digest_of(BlockId::test(1)),
+            None,
+            "digest must not survive the rollback of its effects"
+        );
+        // Re-execution restores both the digest and the lookup.
+        let d2 = e.execute_speculative(BlockId::test(1), &batch);
+        assert_eq!(d1, d2);
+        assert_eq!(e.digest_of(BlockId::test(1)), Some(d2));
+    }
+
+    /// Same pruning on the conflicting-commit path: the implicit
+    /// `rollback_all` inside `execute_committed` discards digests of the
+    /// speculation it destroys (but keeps the committed block's own).
+    #[test]
+    fn conflicting_commit_prunes_speculative_digests() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        e.execute_speculative(BlockId::test(1), &txs(3));
+        let batch2: Vec<_> = (0..3).map(|i| Transaction::kv_write(2, i, i, i + 9)).collect();
+        let d2 = e.execute_committed(BlockId::test(2), &batch2);
+        assert_eq!(e.digest_of(BlockId::test(1)), None, "rolled-back digest pruned");
+        assert_eq!(e.digest_of(BlockId::test(2)), Some(d2), "committed digest kept");
+    }
+
+    /// And on restore: a recovered checkpoint invalidates every digest of
+    /// the pre-restore history.
+    #[test]
+    fn restore_committed_drops_stale_digests() {
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        e.execute_committed(BlockId::test(1), &txs(3));
+        e.restore_committed(KvStore::with_records(10));
+        assert_eq!(e.digest_of(BlockId::test(1)), None);
+    }
+
+    /// Depth-64 pipeline: a partial-prefix rollback keeps exactly the
+    /// matching prefix (and its digests) and prunes the rest. Exercises
+    /// the linear prefix scan at depth far beyond protocol use.
+    #[test]
+    fn deep_pipeline_partial_rollback() {
+        const DEPTH: u64 = 64;
+        const KEEP: usize = 40;
+        let mut e = ExecutionEngine::new(ExecConfig::default());
+        let mut digests = Vec::new();
+        for i in 0..DEPTH {
+            let batch = vec![Transaction::kv_write(1, i, i, i * 3)];
+            digests.push(e.execute_speculative(BlockId::test(i + 1), &batch));
+        }
+        assert_eq!(e.store().depth(), DEPTH as usize);
+        let keep: Vec<BlockId> = (0..KEEP as u64).map(|i| BlockId::test(i + 1)).collect();
+        assert_eq!(e.rollback_conflicting(&keep), DEPTH as usize - KEEP);
+        assert_eq!(e.store().depth(), KEEP);
+        for i in 0..DEPTH as usize {
+            let id = BlockId::test(i as u64 + 1);
+            if i < KEEP {
+                assert_eq!(e.digest_of(id), Some(digests[i]), "kept prefix digest survives");
+                assert!(e.is_speculating(id));
+            } else {
+                assert_eq!(e.digest_of(id), None, "rolled-back digest pruned");
+                assert!(!e.is_speculating(id));
+            }
+        }
+        // A keep-list that skips the bottom of the stack keeps nothing.
+        let mut e2 = ExecutionEngine::new(ExecConfig::default());
+        for i in 0..4u64 {
+            e2.execute_speculative(BlockId::test(i + 1), &[Transaction::kv_write(1, i, i, i)]);
+        }
+        assert_eq!(e2.rollback_conflicting(&[BlockId::test(2)]), 4, "non-prefix keep rolls all");
+        assert_eq!(e2.store().depth(), 0);
     }
 
     #[test]

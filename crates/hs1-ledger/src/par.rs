@@ -1,0 +1,518 @@
+//! Conflict-partitioned parallel block execution.
+//!
+//! The hot path of HotStuff-1's one-phase speculation is block execution:
+//! every block is executed speculatively, possibly rolled back, and
+//! re-executed on the commit branch (§4.1/§4.2). This module executes a
+//! batch on a std-only worker pool while preserving the contract the
+//! convergence tests pin: **bit-identical result digests and state roots
+//! at any worker count, including 1**.
+//!
+//! # How determinism survives parallelism
+//!
+//! 1. **Static key sets.** Every [`TxOp`] declares the keys it reads and
+//!    writes *before* execution ([`access_set`]). Where a key depends on
+//!    runtime state (a TPC-C order line's key embeds the order id read
+//!    from the district counter), the key is *coarsened* to a lock that
+//!    covers every key the transaction could touch ([`lock_key`] maps any
+//!    order-line key to a whole-district lock), so the declared set is a
+//!    conservative superset of the dynamic one.
+//! 2. **Wave scheduling.** [`schedule`] partitions a batch, in block
+//!    order, into *waves*: a transaction is placed in the first wave
+//!    after the last wave that wrote a key it reads (RAW), or read or
+//!    wrote a key it writes (WAR/WAW). Within a wave, write sets are
+//!    mutually disjoint and no transaction reads another's writes, so any
+//!    execution order — and therefore any thread interleaving — produces
+//!    the same values as sequential block order.
+//! 3. **Buffered writes.** Workers never touch the store. Each chunk of a
+//!    wave executes against an immutable view (the [`SpeculativeStore`]
+//!    plus the guarded buffer of writes from *completed* waves) and
+//!    returns its writes; the coordinator merges them between waves.
+//!    Merge order within a wave is irrelevant because the write sets are
+//!    disjoint. The per-transaction result values are placed by batch
+//!    index, and the block digest is folded in batch order afterwards —
+//!    so the digest is a pure function of the batch, not of scheduling.
+//!
+//! Worker count 1 (or a batch below [`PAR_MIN_BATCH`]) takes a purely
+//! sequential path with no scheduling overhead and, by the argument
+//! above, the identical result.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::kv::{Key, Value};
+use crate::spec::SpeculativeStore;
+use crate::tpcc;
+use hs1_types::{Transaction, TxOp};
+
+/// Batches smaller than this always execute sequentially: thread dispatch
+/// costs more than it saves on small blocks (the simulator's default
+/// batch of 100 stays on the sequential path).
+pub const PAR_MIN_BATCH: usize = 256;
+
+/// Waves narrower than this are executed inline by the coordinator:
+/// channel round-trips per sub-chunk dominate below it.
+const PAR_MIN_WAVE: usize = 64;
+
+/// Map a storage key to its scheduling lock. Identity for every table
+/// whose keys are statically derivable from the transaction; TPC-C
+/// order-line keys embed the dynamically allocated order id, so the whole
+/// per-district order-line range shares one lock (two NewOrders in the
+/// same district already conflict on the district's order-id counter, so
+/// this coarsening costs no parallelism).
+pub fn lock_key(key: Key) -> Key {
+    if key >> 56 == tpcc::Table::OrderLine as u64 {
+        // Clear the (entity, line) coordinates, keeping (table, warehouse,
+        // district): one lock per district's order-line range.
+        key & !0xFFFF_FFFF
+    } else {
+        key
+    }
+}
+
+/// Append the lock-coarsened read and write sets of `tx` to `reads` /
+/// `writes`. A read-modify-write key appears only in `writes` (the write
+/// constraint subsumes the read constraint for the same transaction).
+pub fn access_set(tx: &Transaction, reads: &mut Vec<Key>, writes: &mut Vec<Key>) {
+    match tx.op {
+        TxOp::KvWrite { key, .. } => writes.push(lock_key(key)),
+        TxOp::KvRead { key } => reads.push(lock_key(key)),
+        TxOp::TpccNewOrder { warehouse, district, lines, seed, .. } => {
+            // RMW on the district's order-id counter.
+            writes.push(tpcc::district_next_oid(warehouse, district));
+            // RMW on each line's stock row (item ids are a static function
+            // of the seed).
+            for line in 0..lines {
+                writes.push(tpcc::stock_qty(warehouse, tpcc::item_for(seed, line)));
+            }
+            // Order-line inserts: keys depend on the allocated order id,
+            // covered by the district-range lock.
+            writes.push(lock_key(tpcc::order_line(warehouse, district, 0, 0)));
+        }
+        TxOp::TpccPayment { warehouse, district, customer, .. } => {
+            writes.push(tpcc::warehouse_ytd(warehouse));
+            writes.push(tpcc::district_ytd(warehouse, district));
+            writes.push(tpcc::customer_balance(warehouse, district, customer));
+            writes.push(tpcc::customer_payments(warehouse, district, customer));
+        }
+        TxOp::Noop => {}
+    }
+}
+
+/// The conflict partition of one batch: `waves[w]` holds the batch
+/// indices executable concurrently once waves `0..w` have completed.
+#[derive(Clone, Debug)]
+pub struct WavePlan {
+    pub waves: Vec<Vec<usize>>,
+}
+
+impl WavePlan {
+    /// Total transactions scheduled.
+    pub fn len(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+
+    /// The scheduler's ideal speedup at `workers` threads: sequential
+    /// transaction-slots divided by the critical-path slots when each
+    /// wave is split into `workers` chunks. An upper bound on measured
+    /// speedup (it ignores dispatch overhead), and a deterministic
+    /// figure-of-merit for the cost model.
+    pub fn ideal_speedup(&self, workers: usize) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let critical = self.critical_slots(workers);
+        total as f64 / critical as f64
+    }
+
+    /// Critical-path length in transaction slots at `workers` threads:
+    /// `sum over waves of ceil(|wave| / workers)`.
+    pub fn critical_slots(&self, workers: usize) -> u64 {
+        let w = workers.max(1) as u64;
+        self.waves.iter().map(|wave| (wave.len() as u64).div_ceil(w)).sum()
+    }
+}
+
+/// Partition `txs` (in block order) into conflict-free waves.
+///
+/// Placement rule, per transaction: the first wave strictly after the
+/// last wave that *wrote* any key it reads, and strictly after the last
+/// wave that *read or wrote* any key it writes. Transactions with no
+/// conflicts land in wave 0.
+pub fn schedule(txs: &[Transaction]) -> WavePlan {
+    let mut last_read: HashMap<Key, usize> = HashMap::new();
+    let mut last_write: HashMap<Key, usize> = HashMap::new();
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (i, tx) in txs.iter().enumerate() {
+        reads.clear();
+        writes.clear();
+        access_set(tx, &mut reads, &mut writes);
+        let mut wave = 0usize;
+        for k in &reads {
+            if let Some(&lw) = last_write.get(k) {
+                wave = wave.max(lw + 1);
+            }
+        }
+        for k in &writes {
+            if let Some(&lw) = last_write.get(k) {
+                wave = wave.max(lw + 1);
+            }
+            if let Some(&lr) = last_read.get(k) {
+                wave = wave.max(lr + 1);
+            }
+        }
+        if wave == waves.len() {
+            waves.push(Vec::new());
+        }
+        waves[wave].push(i);
+        for k in &reads {
+            let e = last_read.entry(*k).or_insert(wave);
+            *e = (*e).max(wave);
+        }
+        for k in &writes {
+            last_write.insert(*k, wave);
+        }
+    }
+    WavePlan { waves }
+}
+
+/// Outcome of executing one batch: per-transaction result values (batch
+/// order) and the block's write set, plus the wave count for metrics.
+pub struct BatchOutcome {
+    pub results: Vec<u64>,
+    pub writes: HashMap<Key, Value>,
+    pub waves: usize,
+}
+
+/// Execute `txs` against `store` without mutating it, on up to `workers`
+/// threads. The caller applies [`BatchOutcome::writes`] to the store
+/// (speculative overlay or committed base) afterwards.
+pub fn execute_batch(store: &SpeculativeStore, txs: &[Transaction], workers: usize) -> BatchOutcome {
+    if workers <= 1 || txs.len() < PAR_MIN_BATCH {
+        return execute_sequential(store, txs);
+    }
+    let plan = schedule(txs);
+    execute_waves(store, txs, &plan, workers)
+}
+
+/// The sequential reference path: one pass in block order, writes
+/// accumulated in a single buffer that doubles as the read-your-writes
+/// view. No scheduling, no threads.
+fn execute_sequential(store: &SpeculativeStore, txs: &[Transaction]) -> BatchOutcome {
+    let mut buf: HashMap<Key, Value> = HashMap::new();
+    let empty = HashMap::new();
+    let mut results = Vec::with_capacity(txs.len());
+    for tx in txs {
+        // `buf` carries every earlier transaction's writes, so reads see
+        // exactly the sequential prefix state.
+        results.push(apply_tx(store, &empty, &mut buf, tx));
+    }
+    BatchOutcome { results, writes: buf, waves: if txs.is_empty() { 0 } else { 1 } }
+}
+
+/// A chunk of one wave, dispatched to the pool.
+struct Job {
+    indices: std::ops::Range<usize>,
+    wave: usize,
+}
+
+/// A finished chunk: results by batch index plus the chunk's writes.
+struct ChunkOut {
+    results: Vec<(usize, u64)>,
+    writes: HashMap<Key, Value>,
+}
+
+fn execute_waves(
+    store: &SpeculativeStore,
+    txs: &[Transaction],
+    plan: &WavePlan,
+    workers: usize,
+) -> BatchOutcome {
+    let mut results = vec![0u64; txs.len()];
+    // The guarded write buffer: writes of *completed* waves. Workers hold
+    // the read side for the duration of one chunk; the coordinator takes
+    // the write side only to merge finished chunks.
+    let completed: RwLock<HashMap<Key, Value>> = RwLock::new(HashMap::new());
+    std::thread::scope(|s| {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (out_tx, out_rx) = mpsc::channel::<ChunkOut>();
+        for _ in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let out_tx = out_tx.clone();
+            let completed = &completed;
+            s.spawn(move || {
+                loop {
+                    let job = match job_rx.lock().expect("job queue lock").recv() {
+                        Ok(j) => j,
+                        Err(_) => return, // coordinator hung up: batch done
+                    };
+                    let prior = completed.read().expect("write-buffer read lock");
+                    let out = run_chunk(store, &prior, txs, &plan.waves[job.wave], job.indices);
+                    drop(prior);
+                    if out_tx.send(out).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        for (w, wave) in plan.waves.iter().enumerate() {
+            if wave.len() < PAR_MIN_WAVE {
+                // Narrow wave: dispatch overhead exceeds the win, run it
+                // on the coordinator against the same view the workers
+                // would see.
+                let prior = completed.read().expect("write-buffer read lock");
+                let out = run_chunk(store, &prior, txs, wave, 0..wave.len());
+                drop(prior);
+                merge(&mut results, &completed, out);
+                continue;
+            }
+            // One contiguous chunk per worker, balanced sizes.
+            let chunk = wave.len().div_ceil(workers);
+            let mut sent = 0usize;
+            let mut start = 0usize;
+            while start < wave.len() {
+                let end = (start + chunk).min(wave.len());
+                job_tx.send(Job { indices: start..end, wave: w }).expect("pool alive");
+                sent += 1;
+                start = end;
+            }
+            // Wave barrier: every chunk must land before the next wave may
+            // observe the buffer. (Merging as chunks arrive is safe:
+            // same-wave chunks can never read each other's writes.)
+            for _ in 0..sent {
+                let out = out_rx.recv().expect("worker panicked mid-wave");
+                merge(&mut results, &completed, out);
+            }
+        }
+        drop(job_tx);
+    });
+    let writes = completed.into_inner().expect("write-buffer poisoned");
+    BatchOutcome { results, writes, waves: plan.waves.len() }
+}
+
+fn merge(results: &mut [u64], completed: &RwLock<HashMap<Key, Value>>, out: ChunkOut) {
+    for (i, r) in out.results {
+        results[i] = r;
+    }
+    completed.write().expect("write-buffer write lock").extend(out.writes);
+}
+
+/// Execute `wave[indices]` against the immutable pair (store, prior).
+/// The chunk's own writes accumulate in one local map: transactions in
+/// the same wave cannot read each other's writes (scheduling invariant),
+/// so sharing the map across the chunk only serves within-transaction
+/// read-your-writes.
+fn run_chunk(
+    store: &SpeculativeStore,
+    prior: &HashMap<Key, Value>,
+    txs: &[Transaction],
+    wave: &[usize],
+    indices: std::ops::Range<usize>,
+) -> ChunkOut {
+    let mut writes = HashMap::new();
+    let mut results = Vec::with_capacity(indices.len());
+    for &i in &wave[indices] {
+        results.push((i, apply_tx(store, prior, &mut writes, &txs[i])));
+    }
+    ChunkOut { results, writes }
+}
+
+/// Read `key` as the sequential execution would: own/chunk writes, then
+/// completed-wave writes, then the store (overlays above committed base).
+/// Missing keys read as 0, matching the engine's historical semantics.
+fn read(
+    store: &SpeculativeStore,
+    prior: &HashMap<Key, Value>,
+    local: &HashMap<Key, Value>,
+    key: Key,
+) -> u64 {
+    if let Some(v) = local.get(&key) {
+        return *v;
+    }
+    if let Some(v) = prior.get(&key) {
+        return *v;
+    }
+    store.get(key).unwrap_or(0)
+}
+
+/// Apply one transaction, writing into `local` and returning the result
+/// value that feeds the block digest. This is the single definition of
+/// transaction semantics — the sequential and parallel paths both run it.
+fn apply_tx(
+    store: &SpeculativeStore,
+    prior: &HashMap<Key, Value>,
+    local: &mut HashMap<Key, Value>,
+    tx: &Transaction,
+) -> u64 {
+    let rd = |local: &HashMap<Key, Value>, k: Key| read(store, prior, local, k);
+    match tx.op {
+        TxOp::KvWrite { key, seed } => {
+            let new = crate::kv::initial_value(seed ^ tx.id.seq);
+            local.insert(key, new);
+            new
+        }
+        TxOp::KvRead { key } => rd(local, key),
+        TxOp::TpccNewOrder { warehouse, district, customer, lines, seed } => {
+            // Allocate the next order id for the district.
+            let oid_key = tpcc::district_next_oid(warehouse, district);
+            let oid = rd(local, oid_key) as u32;
+            local.insert(oid_key, oid as u64 + 1);
+            let mut total = 0u64;
+            for line in 0..lines {
+                let item = tpcc::item_for(seed, line);
+                let stock_key = tpcc::stock_qty(warehouse, item);
+                let qty = rd(local, stock_key);
+                // Restock when depleted, matching the TPC-C rule
+                // (s_quantity += 91 when below threshold).
+                let new_qty = if qty < 10 { qty + 91 } else { qty - 1 };
+                local.insert(stock_key, new_qty);
+                let ol_key = tpcc::order_line(warehouse, district, oid, line);
+                let amount = (item as u64 % 9_999) + 1;
+                local.insert(ol_key, amount);
+                total += amount;
+            }
+            // Record the total against the customer's order history via
+            // the digest return value.
+            total ^ ((customer as u64) << 32) ^ oid as u64
+        }
+        TxOp::TpccPayment { warehouse, district, customer, amount_cents } => {
+            let w_key = tpcc::warehouse_ytd(warehouse);
+            let w_ytd = rd(local, w_key) + amount_cents as u64;
+            local.insert(w_key, w_ytd);
+            let d_key = tpcc::district_ytd(warehouse, district);
+            let d_ytd = rd(local, d_key) + amount_cents as u64;
+            local.insert(d_key, d_ytd);
+            let bal_key = tpcc::customer_balance(warehouse, district, customer);
+            let bal = rd(local, bal_key).wrapping_sub(amount_cents as u64);
+            local.insert(bal_key, bal);
+            let cnt_key = tpcc::customer_payments(warehouse, district, customer);
+            let cnt = rd(local, cnt_key) + 1;
+            local.insert(cnt_key, cnt);
+            bal
+        }
+        TxOp::Noop => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvStore;
+    use hs1_types::tx::TxId;
+    use hs1_types::ClientId;
+
+    fn kv_write(seq: u64, key: u64) -> Transaction {
+        Transaction::kv_write(1, seq, key, seq)
+    }
+
+    fn kv_read(seq: u64, key: u64) -> Transaction {
+        Transaction { id: TxId::new(ClientId(1), seq), op: TxOp::KvRead { key } }
+    }
+
+    #[test]
+    fn disjoint_writes_share_a_wave() {
+        let txs: Vec<_> = (0..8).map(|i| kv_write(i, i * 10)).collect();
+        let plan = schedule(&txs);
+        assert_eq!(plan.waves.len(), 1);
+        assert_eq!(plan.waves[0].len(), 8);
+        assert!((plan.ideal_speedup(4) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_write_conflicts_serialize_in_block_order() {
+        let txs = vec![kv_write(0, 5), kv_write(1, 5), kv_write(2, 5)];
+        let plan = schedule(&txs);
+        assert_eq!(plan.waves, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn read_after_write_lands_in_a_later_wave() {
+        let txs = vec![kv_write(0, 5), kv_read(1, 5), kv_read(2, 5)];
+        let plan = schedule(&txs);
+        // Both reads may share wave 1: reads don't conflict.
+        assert_eq!(plan.waves, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn write_after_read_lands_in_a_later_wave() {
+        let txs = vec![kv_read(0, 5), kv_read(1, 5), kv_write(2, 5)];
+        let plan = schedule(&txs);
+        assert_eq!(plan.waves, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn neworders_same_district_serialize() {
+        let no = |seq, district| Transaction {
+            id: TxId::new(ClientId(1), seq),
+            op: TxOp::TpccNewOrder { warehouse: 1, district, customer: 1, lines: 1, seed: seq },
+        };
+        // Same district: conflict on the order-id counter. Different
+        // districts with distinct items: parallel.
+        let plan = schedule(&[no(0, 1), no(1, 1)]);
+        assert_eq!(plan.waves.len(), 2);
+        let plan = schedule(&[no(0, 1), no(1, 2)]);
+        // Could still collide on a stock item; with these seeds they don't.
+        assert_eq!(plan.waves.len(), 1);
+    }
+
+    #[test]
+    fn orderline_keys_coarsen_to_district_locks() {
+        let a = tpcc::order_line(3, 4, 100, 2);
+        let b = tpcc::order_line(3, 4, 999, 7);
+        let c = tpcc::order_line(3, 5, 100, 2);
+        assert_eq!(lock_key(a), lock_key(b), "same district shares a lock");
+        assert_ne!(lock_key(a), lock_key(c), "districts are independent");
+        assert_eq!(lock_key(7), 7, "YCSB keys are their own lock");
+    }
+
+    /// A direct KvWrite into the order-line key range must conflict with a
+    /// NewOrder in that district — the coarsening applies to both sides.
+    #[test]
+    fn raw_write_into_orderline_range_conflicts_with_neworder() {
+        let raw = kv_write(0, tpcc::order_line(1, 2, 50, 0));
+        let no = Transaction {
+            id: TxId::new(ClientId(1), 1),
+            op: TxOp::TpccNewOrder { warehouse: 1, district: 2, customer: 1, lines: 1, seed: 9 },
+        };
+        let plan = schedule(&[raw, no]);
+        assert_eq!(plan.waves.len(), 2, "coarsened locks collide");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_conflicting_batch() {
+        // Heavy deliberate conflicts over a tiny key range.
+        let txs: Vec<_> = (0..600)
+            .map(|i| if i % 3 == 0 { kv_read(i, i % 7) } else { kv_write(i, i % 7) })
+            .collect();
+        let store = SpeculativeStore::new(KvStore::with_records(100));
+        let seq = execute_batch(&store, &txs, 1);
+        let par = execute_batch(&store, &txs, 4);
+        assert_eq!(seq.results, par.results);
+        assert_eq!(seq.writes, par.writes);
+    }
+
+    #[test]
+    fn ideal_speedup_collapses_under_total_conflict() {
+        let txs: Vec<_> = (0..16).map(|i| kv_write(i, 1)).collect();
+        let plan = schedule(&txs);
+        assert_eq!(plan.waves.len(), 16);
+        assert!((plan.ideal_speedup(8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let store = SpeculativeStore::new(KvStore::with_records(10));
+        let out = execute_batch(&store, &[], 4);
+        assert!(out.results.is_empty());
+        assert!(out.writes.is_empty());
+        assert_eq!(out.waves, 0);
+    }
+}

@@ -85,6 +85,30 @@ impl SpeculativeStore {
         self.committed.put(key, value);
     }
 
+    /// Merge a batch executor write set into the top (current)
+    /// speculative overlay (see [`crate::par`]).
+    ///
+    /// Panics if no speculation is active.
+    pub fn apply_speculative(&mut self, writes: impl IntoIterator<Item = (Key, Value)>) {
+        self.overlays
+            .last_mut()
+            .expect("apply_speculative requires an active overlay")
+            .writes
+            .extend(writes);
+    }
+
+    /// Merge a batch executor write set directly into committed state.
+    ///
+    /// Panics if overlays exist (same invariant as
+    /// [`SpeculativeStore::put_committed`]).
+    pub fn apply_committed(&mut self, writes: impl IntoIterator<Item = (Key, Value)>) {
+        assert!(
+            self.overlays.is_empty(),
+            "apply_committed with active speculation; promote or roll back first"
+        );
+        self.committed.apply(writes);
+    }
+
     /// Tags of currently speculated blocks, oldest first.
     pub fn speculated(&self) -> Vec<BlockId> {
         self.overlays.iter().map(|o| o.tag).collect()

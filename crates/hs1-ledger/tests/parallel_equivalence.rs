@@ -1,0 +1,190 @@
+//! Property test: the conflict-partitioned parallel executor is
+//! observationally identical to sequential execution.
+//!
+//! Random YCSB+TPC-C batches — with key ranges squeezed so conflicts are
+//! *dense*, plus deliberately crafted conflict chains — must produce
+//! bit-identical block digests and committed state roots at 1, 2, and 8
+//! worker threads, through both the speculative and the committed path,
+//! and across rollback/re-execute cycles. Uses the in-repo SplitMix64
+//! (no external property-testing dependency).
+
+use hs1_ledger::{ExecConfig, ExecutionEngine};
+use hs1_types::tx::TxId;
+use hs1_types::{BlockId, ClientId, SplitMix64, Transaction, TxOp};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Batch size comfortably above `par::PAR_MIN_BATCH` so worker counts > 1
+/// actually exercise the thread pool, not the sequential fallback.
+const BATCH: usize = 600;
+
+fn engine(workers: usize) -> ExecutionEngine {
+    ExecutionEngine::new(ExecConfig { workers, ..ExecConfig::default() })
+}
+
+/// A random transaction biased toward conflicts: YCSB keys drawn from a
+/// tiny range, TPC-C coordinates from 2 warehouses × 3 districts.
+fn random_tx(rng: &mut SplitMix64, seq: u64) -> Transaction {
+    let client = ClientId(1 + rng.next_range(4) as u32);
+    let id = TxId::new(client, seq);
+    let op = match rng.next_range(10) {
+        0..=3 => TxOp::KvWrite { key: rng.next_range(48), seed: rng.next_u64() },
+        4..=5 => TxOp::KvRead { key: rng.next_range(48) },
+        6..=7 => TxOp::TpccNewOrder {
+            warehouse: 1 + rng.next_range(2) as u16,
+            district: rng.next_range(3) as u8,
+            customer: rng.next_range(20) as u16,
+            lines: 1 + rng.next_range(6) as u8,
+            seed: rng.next_u64(),
+        },
+        8 => TxOp::TpccPayment {
+            warehouse: 1 + rng.next_range(2) as u16,
+            district: rng.next_range(3) as u8,
+            customer: rng.next_range(20) as u16,
+            amount_cents: 1 + rng.next_range(10_000) as u32,
+        },
+        _ => TxOp::Noop,
+    };
+    Transaction::new(id, op)
+}
+
+fn random_batch(rng: &mut SplitMix64, len: usize) -> Vec<Transaction> {
+    (0..len as u64).map(|seq| random_tx(rng, seq)).collect()
+}
+
+/// Run `blocks` through the committed path at every worker count; digests
+/// and state roots must match bit-for-bit.
+fn assert_committed_equivalence(blocks: &[Vec<Transaction>], label: &str) {
+    let mut reference: Option<(Vec<_>, _)> = None;
+    for &w in &WORKER_COUNTS {
+        let mut e = engine(w);
+        let digests: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, txs)| e.execute_committed(BlockId::test(i as u64 + 1), txs))
+            .collect();
+        let root = e.store().committed_store().state_root();
+        match &reference {
+            None => reference = Some((digests, root)),
+            Some((d0, r0)) => {
+                assert_eq!(d0, &digests, "{label}: digest mismatch at {w} workers");
+                assert_eq!(r0, &root, "{label}: state root mismatch at {w} workers");
+            }
+        }
+    }
+}
+
+/// Same, through the speculative path: speculate, roll back, re-speculate,
+/// then promote by committing — the full one-phase speculation lifecycle.
+fn assert_speculative_equivalence(blocks: &[Vec<Transaction>], label: &str) {
+    let mut reference: Option<(Vec<_>, _)> = None;
+    for &w in &WORKER_COUNTS {
+        let mut e = engine(w);
+        let mut digests = Vec::new();
+        for (i, txs) in blocks.iter().enumerate() {
+            let id = BlockId::test(i as u64 + 1);
+            let d1 = e.execute_speculative(id, txs);
+            // Roll the speculation back and re-derive it: the rollback
+            // path must erase every effect at any worker count.
+            assert_eq!(e.rollback_conflicting(&[]), 1, "{label}: rollback at {w} workers");
+            assert_eq!(e.digest_of(id), None, "{label}: stale digest at {w} workers");
+            let d2 = e.execute_speculative(id, txs);
+            assert_eq!(d1, d2, "{label}: re-execution diverged at {w} workers");
+            // Promote into the committed base.
+            let d3 = e.execute_committed(id, txs);
+            assert_eq!(d1, d3, "{label}: promotion digest at {w} workers");
+            digests.push(d3);
+        }
+        let root = e.store().committed_store().state_root();
+        match &reference {
+            None => reference = Some((digests, root)),
+            Some((d0, r0)) => {
+                assert_eq!(d0, &digests, "{label}: digest mismatch at {w} workers");
+                assert_eq!(r0, &root, "{label}: state root mismatch at {w} workers");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_mixed_batches_committed_path() {
+    let mut rng = SplitMix64::new(0x9a11_e7);
+    for case in 0..8 {
+        let blocks: Vec<_> = (0..3).map(|_| random_batch(&mut rng, BATCH)).collect();
+        assert_committed_equivalence(&blocks, &format!("mixed case {case}"));
+    }
+}
+
+#[test]
+fn random_mixed_batches_speculative_path() {
+    let mut rng = SplitMix64::new(0xdead_51);
+    for case in 0..4 {
+        let blocks: Vec<_> = (0..2).map(|_| random_batch(&mut rng, BATCH)).collect();
+        assert_speculative_equivalence(&blocks, &format!("speculative case {case}"));
+    }
+}
+
+/// Every transaction hits one of three keys: maximal write-write
+/// conflicts, so the wave schedule degenerates to near-sequential and the
+/// barrier logic is what's under test.
+#[test]
+fn pathological_conflict_chain() {
+    let mut rng = SplitMix64::new(7);
+    let batch: Vec<_> = (0..BATCH as u64)
+        .map(|seq| {
+            let key = rng.next_range(3);
+            if rng.chance(0.3) {
+                Transaction { id: TxId::new(ClientId(1), seq), op: TxOp::KvRead { key } }
+            } else {
+                Transaction::kv_write(1, seq, key, rng.next_u64())
+            }
+        })
+        .collect();
+    assert_committed_equivalence(&[batch.clone()], "conflict chain");
+    assert_speculative_equivalence(&[batch], "conflict chain");
+}
+
+/// Conflict-free distinct-key batch: the all-parallel extreme (one wave).
+#[test]
+fn conflict_free_batch() {
+    let batch: Vec<_> =
+        (0..BATCH as u64).map(|seq| Transaction::kv_write(1, seq, seq * 13, seq)).collect();
+    assert_committed_equivalence(&[batch.clone()], "conflict-free");
+    assert_speculative_equivalence(&[batch], "conflict-free");
+}
+
+/// TPC-C only: RMW chains through warehouse/district YTD counters plus
+/// dynamically keyed order-line inserts under the coarsened district
+/// locks.
+#[test]
+fn tpcc_only_batches() {
+    let mut rng = SplitMix64::new(0x7bcc);
+    for case in 0..4 {
+        let batch: Vec<_> = (0..BATCH as u64)
+            .map(|seq| {
+                let warehouse = 1 + rng.next_range(2) as u16;
+                let district = rng.next_range(4) as u8;
+                let customer = rng.next_range(30) as u16;
+                let op = if rng.chance(0.5) {
+                    TxOp::TpccNewOrder {
+                        warehouse,
+                        district,
+                        customer,
+                        lines: 1 + rng.next_range(10) as u8,
+                        seed: rng.next_u64(),
+                    }
+                } else {
+                    TxOp::TpccPayment {
+                        warehouse,
+                        district,
+                        customer,
+                        amount_cents: 1 + rng.next_range(50_000) as u32,
+                    }
+                };
+                Transaction::new(TxId::new(ClientId(2), seq), op)
+            })
+            .collect();
+        assert_committed_equivalence(&[batch.clone()], &format!("tpcc case {case}"));
+        assert_speculative_equivalence(&[batch], &format!("tpcc case {case}"));
+    }
+}

@@ -161,6 +161,14 @@ impl Scenario {
         self
     }
 
+    /// Model a `workers`-wide parallel executor on every replica (see
+    /// [`crate::cost::CpuModel`]; 1 — the default — reproduces the
+    /// historical sequential execution cost exactly).
+    pub fn exec_workers(mut self, workers: usize) -> Self {
+        self.cost.cpu = crate::cost::CpuModel::with_workers(workers);
+        self
+    }
+
     /// Spread replicas uniformly over the first `count` paper regions.
     pub fn geo_regions(mut self, count: usize) -> Self {
         self.placement = Some(spread(self.n, count));
@@ -226,10 +234,14 @@ impl Scenario {
         }
 
         let exec = match self.workload {
-            WorkloadKind::Ycsb => {
-                ExecConfig { ycsb_records: YcsbGen::PAPER_RECORDS, tpcc_warehouses: 4 }
+            WorkloadKind::Ycsb => ExecConfig {
+                ycsb_records: YcsbGen::PAPER_RECORDS,
+                tpcc_warehouses: 4,
+                ..ExecConfig::default()
+            },
+            WorkloadKind::Tpcc => {
+                ExecConfig { ycsb_records: 0, tpcc_warehouses: 4, ..ExecConfig::default() }
             }
-            WorkloadKind::Tpcc => ExecConfig { ycsb_records: 0, tpcc_warehouses: 4 },
         };
         let workload: Box<dyn Workload> = match self.workload {
             WorkloadKind::Ycsb => Box::new(YcsbGen::paper_default(self.seed)),
