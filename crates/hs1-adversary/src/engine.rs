@@ -125,6 +125,10 @@ impl Replica for AdversaryEngine {
         self.inner.committed_chain()
     }
 
+    fn set_observer(&mut self, obs: hs1_obs::Obs) {
+        self.inner.set_observer(obs);
+    }
+
     fn set_persistence(&mut self, persist: Box<dyn Persistence>) {
         self.inner.set_persistence(persist);
     }

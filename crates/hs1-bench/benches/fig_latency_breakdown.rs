@@ -1,0 +1,167 @@
+//! Per-stage latency attribution: where does a transaction's end-to-end
+//! latency go, HotStuff-1 vs HotStuff-2, at the quickstart configuration
+//! (n=4, batch 32, 64 clients)?
+//!
+//! The harness runs each protocol once under a recording observer and
+//! post-processes the deterministic trace into a telescoping per-block
+//! decomposition:
+//!
+//! ```text
+//! t0 submit    mean client submit time of the block's transactions
+//! t1 propose   the leader broadcast the block (`proposed` stage)
+//! t2 receive   the quorum-th replica accepted the proposal (`received`)
+//! t3 certify   the quorum-th replica speculated (HS1) / committed (HS2)
+//! t4 respond   the quorum-th response reached the client (`responded`)
+//! t5 final     the client's quorum completed (`finality` point)
+//! ```
+//!
+//! Each timestamp is clamped monotone into `[t0, t5]`, so the five
+//! segment columns sum *exactly* to the end-to-end latency — the harness
+//! asserts the ±5% acceptance bound on every emitted row anyway, as a
+//! guard against future drift in the decomposition. `mean` rows average
+//! all fully-observed blocks; `p99` rows average the slowest 1% cohort
+//! (by e2e), attributing *tail* latency to stages the same way.
+
+use std::collections::BTreeMap;
+
+use hs1_bench::FigureSink;
+use hs1_obs::{Clock, EventKind, Obs, Stage};
+use hs1_sim::Scenario;
+use hs1_types::ProtocolKind;
+
+/// n = 4, f = 1: engines and clients both act on 3-of-4 quorums.
+const QUORUM: usize = 3;
+
+/// Raw per-block observations pulled out of the trace.
+#[derive(Default)]
+struct BlockObs {
+    submit_mean: Option<u64>,
+    proposed: Option<u64>,
+    received: Vec<u64>,
+    speculated: Vec<u64>,
+    committed: Vec<u64>,
+    responded: Vec<u64>,
+    finality: Option<u64>,
+}
+
+/// The k-th smallest timestamp (1-based), if at least k were observed.
+fn kth(mut at: Vec<u64>, k: usize) -> Option<u64> {
+    if at.len() < k {
+        return None;
+    }
+    at.sort_unstable();
+    Some(at[k - 1])
+}
+
+/// Telescoped timestamps `[t0..t5]` for one block, clamped monotone into
+/// `[t0, t5]` so segment sums telescope exactly to `t5 - t0`.
+fn telescope(b: BlockObs) -> Option<[u64; 6]> {
+    let t0 = b.submit_mean?;
+    let t5 = b.finality?;
+    if t5 < t0 {
+        return None;
+    }
+    // HS1 responds after speculation; the baselines only after commit.
+    // Prefer the speculation quorum when the protocol produced one.
+    let certify = kth(b.speculated.clone(), QUORUM).or(kth(b.committed, QUORUM))?;
+    let raw = [t0, b.proposed?, kth(b.received, QUORUM)?, certify, kth(b.responded, QUORUM)?, t5];
+    let mut t = [t0; 6];
+    for i in 1..6 {
+        t[i] = raw[i].clamp(t[i - 1], t5);
+    }
+    Some(t)
+}
+
+/// Run one protocol under a recording observer and return the telescoped
+/// timestamps of every fully-observed block.
+fn run(protocol: ProtocolKind) -> Vec<[u64; 6]> {
+    let (obs, rec) = Obs::recording(Clock::manual());
+    let scenario = hs1_bench::standard(
+        Scenario::new(protocol).replicas(4).batch_size(32).clients(64).with_observer(obs),
+    );
+    let report = scenario.run();
+    report.ensure_invariants(&format!("fig_latency_breakdown [{}]", protocol.name()));
+    let rec = rec.lock().expect("recorder");
+
+    let mut blocks: BTreeMap<u64, BlockObs> = BTreeMap::new();
+    for ev in rec.trace() {
+        match ev.kind {
+            EventKind::Stage { stage, block } => {
+                let b = blocks.entry(block).or_default();
+                match stage {
+                    Stage::Proposed => {
+                        b.proposed = Some(b.proposed.map_or(ev.at, |p| p.min(ev.at)))
+                    }
+                    Stage::Received => b.received.push(ev.at),
+                    Stage::Speculated => b.speculated.push(ev.at),
+                    Stage::Committed => b.committed.push(ev.at),
+                    Stage::Responded => b.responded.push(ev.at),
+                    Stage::Voted => {}
+                }
+            }
+            EventKind::Point { name: "finality", key, .. } => {
+                blocks.entry(key).or_default().finality = Some(ev.at);
+            }
+            EventKind::Point { name: "submit_mean", key, value } => {
+                blocks.entry(key).or_default().submit_mean = Some(value);
+            }
+            _ => {}
+        }
+    }
+    blocks.into_values().filter_map(telescope).collect()
+}
+
+/// Mean of each of the five segments (ms) plus the e2e mean, over a cohort.
+fn segment_means(cohort: &[[u64; 6]]) -> [f64; 6] {
+    let n = cohort.len() as f64;
+    let mut out = [0.0; 6];
+    for t in cohort {
+        for i in 0..5 {
+            out[i] += (t[i + 1] - t[i]) as f64 / 1e6 / n;
+        }
+        out[5] += (t[5] - t[0]) as f64 / 1e6 / n;
+    }
+    out
+}
+
+fn emit(sink: &mut FigureSink, protocol: ProtocolKind, stat: &str, cohort: &[[u64; 6]]) {
+    let m = segment_means(cohort);
+    let sum: f64 = m[..5].iter().sum();
+    // The ISSUE acceptance bound; exact by construction of `telescope`.
+    assert!(
+        (sum - m[5]).abs() <= 0.05 * m[5].max(f64::EPSILON),
+        "{} {stat}: segments sum to {sum:.3}ms but e2e is {:.3}ms",
+        protocol.name(),
+        m[5],
+    );
+    sink.record_raw(format!(
+        "{},{stat},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+        protocol.name(),
+        cohort.len(),
+        m[0],
+        m[1],
+        m[2],
+        m[3],
+        m[4],
+        m[5],
+    ));
+}
+
+fn main() {
+    let mut sink = FigureSink::with_header(
+        "fig_latency_breakdown",
+        "per-stage latency attribution, HS1 vs HS2 (n=4, batch 32, 64 clients)",
+        "protocol,stat,blocks,submit_to_propose_ms,propose_to_receive_ms,\
+         receive_to_certify_ms,certify_to_respond_ms,respond_to_final_ms,e2e_ms",
+    );
+    for protocol in [ProtocolKind::HotStuff1, ProtocolKind::HotStuff2] {
+        let mut all = run(protocol);
+        assert!(!all.is_empty(), "{}: no fully-observed blocks in trace", protocol.name());
+        emit(&mut sink, protocol, "mean", &all);
+        // Tail cohort: the slowest 1% of blocks by e2e (at least one).
+        all.sort_by_key(|t| t[5] - t[0]);
+        let tail = (all.len() / 100).max(1);
+        emit(&mut sink, protocol, "p99", &all[all.len() - tail..]);
+    }
+    sink.finish();
+}

@@ -1,0 +1,89 @@
+//! `bench_summary` — roll the regenerated figure CSVs up into one
+//! machine-readable `bench_results/summary.json` (hand-rolled JSON, no
+//! dependencies). CI uploads it next to the CSVs so downstream tooling
+//! can check which figures were regenerated and how many data rows each
+//! carries without parsing every CSV.
+//!
+//! Exits non-zero if `bench_results/` holds no CSVs or any figure is
+//! header-only — an empty figure must fail the job, not ship silently.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.join("bench_results")
+}
+
+/// Escape a string for a JSON literal (the inputs are CSV identifiers,
+/// but stay correct for arbitrary bytes anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut csvs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            eprintln!("no bench_results dir at {}: {e}", dir.display());
+            std::process::exit(1);
+        })
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    csvs.sort();
+    if csvs.is_empty() {
+        eprintln!("no figure CSVs in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut figures = Vec::new();
+    for path in &csvs {
+        let name = path.file_stem().unwrap_or_default().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let rows = lines.filter(|l| !l.trim().is_empty()).count();
+        if rows == 0 {
+            eprintln!("{name}: header-only CSV — the figure is empty");
+            std::process::exit(1);
+        }
+        let columns: Vec<String> = header.split(',').map(|c| json_str(c.trim())).collect();
+        figures.push(format!(
+            "    {{\"name\": {}, \"rows\": {rows}, \"columns\": [{}]}}",
+            json_str(&name),
+            columns.join(", "),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"figures\": [\n{}\n  ],\n  \"count\": {}\n}}\n",
+        figures.join(",\n"),
+        figures.len(),
+    );
+    let out = dir.join("summary.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    print!("{json}");
+    println!("-> wrote {}", out.display());
+}

@@ -12,12 +12,15 @@
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --replay 'hs1:v1;seed=7;n=4;...'        # byte-identical re-run
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
+//!     --replay 'hs1:...' --trace /tmp/run.jsonl   # + structured trace dump
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --seeds 4 --inject rollback             # prove the gate trips
 //! ```
 
 use hs1_chaos::{
     parse_protocol, parse_replay, protocol_token, replay_command, sweep, ChaosCase, Inject,
 };
+use hs1_obs::{Clock, Obs};
 use hs1_sim::chaos::ChaosConfig;
 use hs1_sim::ProtocolKind;
 
@@ -29,6 +32,8 @@ struct Args {
     threshold: Option<u64>,
     inject: Inject,
     replay: Option<String>,
+    /// Replay mode: dump the run's deterministic JSONL trace here.
+    trace: Option<String>,
     config: ChaosConfig,
     quiet: bool,
 }
@@ -38,7 +43,7 @@ fn usage() -> ! {
         "usage: chaos_sweep [--seeds N] [--start K] [--sim-seconds F] \
          [--protocols hs,hs2,hs1,basic,slotted] [--threshold BLOCKS] \
          [--config default|lossy|events|legacy] [--inject none|halt|rollback|forge] \
-         [--replay '<protocol>:<plan-spec>'] [--quiet]"
+         [--replay '<protocol>:<plan-spec>'] [--trace PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,7 @@ fn parse_args() -> Args {
         threshold: None,
         inject: Inject::None,
         replay: None,
+        trace: None,
         config: ChaosConfig::default(),
         quiet: false,
     };
@@ -80,6 +86,7 @@ fn parse_args() -> Args {
             }
             "--inject" => args.inject = Inject::parse(&val("--inject")).unwrap_or_else(|| usage()),
             "--replay" => args.replay = Some(val("--replay")),
+            "--trace" => args.trace = Some(val("--trace")),
             "--config" => {
                 args.config = match val("--config").as_str() {
                     "default" => ChaosConfig::default(),
@@ -118,7 +125,17 @@ fn replay(args: &Args, spec: &str) -> ! {
         inject: args.inject,
     };
     println!("replaying {} under {}", case.plan, case.protocol.name());
-    let report = case.run();
+    let mut scenario = case.scenario();
+    let mut recorder = None;
+    if let Some(path) = &args.trace {
+        // A recording observer over the sim-driven manual clock: the
+        // dumped JSONL is byte-identical across replays of the same spec.
+        let (obs, rec) = Obs::recording(Clock::manual());
+        rec.lock().unwrap().set_trace_path(path.into());
+        scenario = scenario.with_observer(obs);
+        recorder = Some(rec);
+    }
+    let report = scenario.run();
     println!("  {}", report.row());
     println!(
         "  chaos: dropped={} dup={} reordered={} partitions={} crashes={} restarts={} \
@@ -140,6 +157,19 @@ fn replay(args: &Args, spec: &str) -> ! {
     println!("  fingerprint: {:#018x}", report.fingerprint);
     report.ensure_invariants("replay");
     println!("  invariants hold");
+    if let (Some(rec), Some(path)) = (recorder, &args.trace) {
+        let mut rec = rec.lock().unwrap();
+        if let Err(e) = rec.flush_to_path() {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        let snapshot = rec.snapshot();
+        println!(
+            "  trace: {} events, {} metric rows -> {path}",
+            rec.trace().len(),
+            snapshot.rows.len()
+        );
+    }
     std::process::exit(0);
 }
 

@@ -24,6 +24,7 @@ use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
+use hs1_obs::{block_key, Obs, Stage};
 use hs1_types::cert::{domains, CertKind};
 use hs1_types::message::{NewViewMsg, PrepareMsg, ProposeMsg, VoteInfo, VoteMsg};
 use hs1_types::{
@@ -167,6 +168,8 @@ impl BasicEngine {
     fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.awaiting_tc = false;
         self.core.persist.on_view(self.view);
+        self.core.obs.span_begin("view", self.view.0);
+        self.core.obs.counter("view_changes", 0, 1);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -190,6 +193,7 @@ impl BasicEngine {
     }
 
     fn exit_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.core.obs.span_end("view", self.view.0);
         self.view = self.view.next();
         self.tally = None;
         match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
@@ -280,6 +284,8 @@ impl BasicEngine {
         let batch = self.core.make_batch();
         let b = Arc::new(Block::new(self.core.me, view, Slot::FIRST, justify, batch));
         self.core.insert_block(b.clone());
+        self.core.obs.stage(Stage::Proposed, block_key(b.id()));
+        self.core.obs.counter("blocks_proposed", 0, 1);
         if let Some(t) = self.tally.as_mut() {
             t.proposed = Some(b.id());
         }
@@ -315,7 +321,9 @@ impl BasicEngine {
             return;
         }
         self.core.insert_block(b.clone());
+        self.core.obs.stage(Stage::Received, block_key(b.id()));
         if pv > self.view {
+            self.core.obs.span_end("view", self.view.0);
             self.view = pv;
             self.tally = None;
             self.pm.note_jump(pv);
@@ -337,6 +345,8 @@ impl BasicEngine {
                 self.set_high_cert(b.justify.clone());
             }
             self.last_voted = pv;
+            self.core.obs.stage(Stage::Voted, block_key(b.id()));
+            self.core.obs.counter("votes_sent", 0, 1);
             let bytes = Certificate::signing_bytes(CertKind::Quorum, pv, Slot::FIRST, b.id());
             let share = self.core.kp.sign(domains::PROPOSE_VOTE, &bytes);
             out.push(Action::Send {
@@ -397,6 +407,7 @@ impl BasicEngine {
             return;
         };
         if pv > self.view {
+            self.core.obs.span_end("view", self.view.0);
             self.view = pv;
             self.tally = None;
             self.pm.note_jump(pv);
@@ -550,6 +561,8 @@ impl Replica for BasicEngine {
                 if v == self.view && self.awaiting_tc {
                     // Parked at an epoch boundary: retry the Wish (ours or
                     // the TC may have been lost) and keep the timer armed.
+                    self.core.obs.point("wish_retry", v.0, 0);
+                    self.core.obs.counter("wish_retries", 0, 1);
                     self.pm.rewish(&self.core.kp.clone(), out);
                     out.push(Action::SetTimer {
                         timer: Timer::ViewTimeout(v),
@@ -599,6 +612,10 @@ impl Replica for BasicEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_observer(&mut self, obs: Obs) {
+        self.core.set_observer(obs);
     }
 
     fn set_persistence(&mut self, persist: Box<dyn Persistence>) {

@@ -23,6 +23,7 @@ use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
+use hs1_obs::{block_key, Obs, Stage};
 use hs1_types::cert::{domains, CertKind};
 use hs1_types::message::{NewViewMsg, ProposeMsg, VoteInfo};
 use hs1_types::{
@@ -173,6 +174,8 @@ impl ChainedEngine {
     fn enter_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.awaiting_tc = false;
         self.core.persist.on_view(self.view);
+        self.core.obs.span_begin("view", self.view.0);
+        self.core.obs.counter("view_changes", 0, 1);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -196,6 +199,7 @@ impl ChainedEngine {
     }
 
     fn exit_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.core.obs.span_end("view", self.view.0);
         self.view = self.view.next();
         self.tally = None;
         match self.pm.completed_view(self.view, &self.core.kp.clone(), out) {
@@ -215,6 +219,7 @@ impl ChainedEngine {
     /// Jump directly into `v` (a valid proposal for a higher view proves
     /// progress happened without us).
     fn jump_to(&mut self, v: View, now: SimTime, out: &mut Vec<Action>) {
+        self.core.obs.span_end("view", self.view.0);
         self.view = v;
         self.tally = None;
         self.pm.note_jump(v);
@@ -320,6 +325,12 @@ impl ChainedEngine {
         self.do_propose(out);
     }
 
+    /// Trace a freshly assembled proposal.
+    fn note_proposed(&self, id: BlockId) {
+        self.core.obs.stage(Stage::Proposed, block_key(id));
+        self.core.obs.counter("blocks_proposed", 0, 1);
+    }
+
     /// Highest certificate known with view ≤ `view − 2` (tail-forking and
     /// rollback-attack justify choice, Example 6.2).
     fn stale_cert(&self) -> Certificate {
@@ -351,6 +362,7 @@ impl ChainedEngine {
                 let batch = self.core.make_batch();
                 let b = Arc::new(Block::new(self.core.me, view, Slot::FIRST, justify, batch));
                 self.core.insert_block(b.clone());
+                self.note_proposed(b.id());
                 if let Some(t) = self.tally.as_mut() {
                     t.proposed = true;
                 }
@@ -372,6 +384,8 @@ impl ChainedEngine {
                 let y = Arc::new(Block::new(self.core.me, view, Slot::FIRST, y_justify, batch_y));
                 self.core.insert_block(x.clone());
                 self.core.insert_block(y.clone());
+                self.note_proposed(x.id());
+                self.note_proposed(y.id());
                 if let Some(t) = self.tally.as_mut() {
                     t.proposed = true;
                 }
@@ -389,6 +403,7 @@ impl ChainedEngine {
                 let batch = self.core.make_batch();
                 let b = Arc::new(Block::new(self.core.me, view, Slot::FIRST, justify, batch));
                 self.core.insert_block(b.clone());
+                self.note_proposed(b.id());
                 if let Some(t) = self.tally.as_mut() {
                     t.proposed = true;
                 }
@@ -429,6 +444,7 @@ impl ChainedEngine {
             return;
         }
         self.core.insert_block(b.clone());
+        self.core.obs.stage(Stage::Received, block_key(b.id()));
         if pv > self.view {
             self.jump_to(pv, now, out);
         }
@@ -480,6 +496,8 @@ impl ChainedEngine {
         let vote_ok = justify.rank() >= old_rank || self.fault.colludes();
         if vote_ok && pv > self.last_voted && !self.crashed {
             self.last_voted = pv;
+            self.core.obs.stage(Stage::Voted, block_key(b.id()));
+            self.core.obs.counter("votes_sent", 0, 1);
             let bytes = Certificate::signing_bytes(CertKind::Quorum, pv, Slot::FIRST, b.id());
             let share = self.core.kp.sign(domains::PROPOSE_VOTE, &bytes);
             let next_leader = self.core.cfg.leader_of(pv.next());
@@ -672,6 +690,8 @@ impl Replica for ChainedEngine {
                 if v == self.view && self.awaiting_tc {
                     // Parked at an epoch boundary: retry the Wish (ours or
                     // the TC may have been lost) and keep the timer armed.
+                    self.core.obs.point("wish_retry", v.0, 0);
+                    self.core.obs.counter("wish_retries", 0, 1);
                     self.pm.rewish(&self.core.kp.clone(), out);
                     out.push(Action::SetTimer {
                         timer: Timer::ViewTimeout(v),
@@ -729,6 +749,10 @@ impl Replica for ChainedEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_observer(&mut self, obs: Obs) {
+        self.core.set_observer(obs);
     }
 
     fn set_persistence(&mut self, persist: Box<dyn Persistence>) {

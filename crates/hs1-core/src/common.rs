@@ -9,6 +9,7 @@ use crate::persist::{NoopPersistence, Persistence, RecoveredState};
 use crate::replica::Action;
 use hs1_crypto::{KeyPair, PublicKeyRegistry};
 use hs1_ledger::{ExecConfig, ExecutionEngine};
+use hs1_obs::{block_key, Obs, Stage};
 use hs1_types::{
     Block, BlockId, Certificate, ReplicaId, ReplyKind, SystemConfig, Transaction, TxId,
 };
@@ -183,6 +184,9 @@ pub struct CoreState {
     pub source: Box<dyn TxSource>,
     /// Durability sink (no-op by default; see [`crate::persist`]).
     pub persist: Box<dyn Persistence>,
+    /// Observability sink (no-op by default; see `hs1-obs`). Pure
+    /// observer: nothing the engine does may depend on it.
+    pub obs: Obs,
     /// Committed block ids in commit order (genesis first).
     pub committed: Vec<BlockId>,
     committed_set: HashSet<BlockId>,
@@ -212,10 +216,19 @@ impl CoreState {
             exec: ExecutionEngine::new(exec_cfg),
             source,
             persist: Box::new(NoopPersistence),
+            obs: Obs::noop(),
             committed: vec![gid],
             committed_set: HashSet::from([gid]),
             pruned_upto: 0,
         }
+    }
+
+    /// Install an observability sink, re-tagged with this replica's id
+    /// and shared with the execution engine.
+    pub fn set_observer(&mut self, obs: Obs) {
+        let obs = obs.with_actor(self.me.0);
+        self.exec.set_observer(obs.clone());
+        self.obs = obs;
     }
 
     pub fn block(&self, id: BlockId) -> Option<&Arc<Block>> {
@@ -290,6 +303,8 @@ impl CoreState {
             }
             out.push(Action::Committed { block: b.clone() });
             let id = b.id();
+            self.obs.stage(Stage::Committed, block_key(id));
+            self.obs.counter("blocks_committed", 0, 1);
             self.committed.push(id);
             self.committed_set.insert(id);
         }
@@ -311,10 +326,13 @@ impl CoreState {
         let rolled = self.exec.rollback_conflicting(&[]);
         if rolled > 0 {
             self.persist.on_rollback(rolled);
+            self.obs.counter("blocks_rolled_back", 0, rolled as u64);
             out.push(Action::RolledBack { blocks: rolled });
         }
         self.persist.on_speculate(b);
         let digest = self.exec.execute_speculative(b.id(), &b.txs);
+        self.obs.stage(Stage::Speculated, block_key(b.id()));
+        self.obs.counter("blocks_speculated", 0, 1);
         out.push(Action::Executed { block: b.clone(), digest, kind: ReplyKind::Speculative });
     }
 

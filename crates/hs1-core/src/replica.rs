@@ -72,6 +72,11 @@ pub trait Replica: Send {
     /// Chain of committed block ids in commit order (invariant checking).
     fn committed_chain(&self) -> Vec<hs1_types::BlockId>;
 
+    /// Install an observability sink (see `hs1-obs`). Pure observer:
+    /// attaching one must not change any engine output. The default
+    /// ignores it (stateless test doubles need no instrumentation).
+    fn set_observer(&mut self, _obs: hs1_obs::Obs) {}
+
     /// Install a durability sink. Must be called *after*
     /// [`Replica::restore`] (restore replays history; replaying through a
     /// live journal would double-write it) and before the first

@@ -31,6 +31,7 @@ use crate::persist::{Persistence, RecoveredState};
 use crate::replica::{Action, Replica, Timer};
 use hs1_crypto::Signature;
 use hs1_ledger::ExecConfig;
+use hs1_obs::{block_key, Obs, Stage};
 use hs1_types::cert::{domains, CertKind};
 use hs1_types::ids::Rank;
 use hs1_types::message::{NewSlotMsg, NewViewMsg, ProposeMsg, RejectMsg, VoteInfo};
@@ -192,6 +193,11 @@ impl SlottedEngine {
         self.core.insert_block(b.clone());
     }
 
+    fn note_proposed(&self, id: BlockId) {
+        self.core.obs.stage(Stage::Proposed, block_key(id));
+        self.core.obs.counter("blocks_proposed", 0, 1);
+    }
+
     /// The carry block `B_u` for `cert` (Definition 6.3): the lowest
     /// uncertified block extending it, located via the justify index.
     fn carry_for(&self, cert: &Certificate) -> Option<BlockId> {
@@ -204,6 +210,8 @@ impl SlottedEngine {
         self.awaiting_tc = false;
         self.slot = Slot::FIRST;
         self.core.persist.on_view(self.view);
+        self.core.obs.span_begin("view", self.view.0);
+        self.core.obs.counter("view_changes", 0, 1);
         out.push(Action::EnteredView { view: self.view });
         out.push(Action::SetTimer {
             timer: Timer::ViewTimeout(self.view),
@@ -227,6 +235,7 @@ impl SlottedEngine {
     }
 
     fn exit_view(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.core.obs.span_end("view", self.view.0);
         self.view = self.view.next();
         self.slot = Slot::FIRST;
         self.tally = None;
@@ -433,6 +442,7 @@ impl SlottedEngine {
             None => Block::new(self.core.me, view, Slot::FIRST, justify, batch),
         });
         self.insert_block(&b);
+        self.note_proposed(b.id());
         if let Some(t) = self.tally.as_mut() {
             t.first_proposed = true;
             t.proposing = Some((Slot::FIRST, b.id()));
@@ -544,6 +554,7 @@ impl SlottedEngine {
             let next_slot = slot.next();
             let b = Arc::new(Block::new(self.core.me, msg.view, next_slot, cert, batch));
             self.insert_block(&b);
+            self.note_proposed(b.id());
             if let Some(t) = self.tally.as_mut() {
                 t.proposing = Some((next_slot, b.id()));
             }
@@ -656,6 +667,7 @@ impl SlottedEngine {
         }
         if pv > self.view {
             // Catch up to the proposal's view.
+            self.core.obs.span_end("view", self.view.0);
             self.view = pv;
             self.slot = Slot::FIRST;
             self.tally = None;
@@ -666,6 +678,7 @@ impl SlottedEngine {
             return; // already voted or rejected this slot
         }
         self.insert_block(&b);
+        self.core.obs.stage(Stage::Received, block_key(b.id()));
         if Rank::new(pv, ps) <= self.vote_floor {
             // The pre-crash incarnation may already have voted at this
             // position (§4.2 recovery); keep the body for commit walks
@@ -705,6 +718,8 @@ impl SlottedEngine {
             let bytes = Certificate::signing_bytes(CertKind::NewSlot, pv, ps, b.id());
             let share = self.core.kp.sign(domains::NEW_SLOT, &bytes);
             self.highest_voted = (Rank::new(pv, ps), b.id());
+            self.core.obs.stage(Stage::Voted, block_key(b.id()));
+            self.core.obs.counter("votes_sent", 0, 1);
             out.push(Action::Send {
                 to: b.proposer,
                 msg: Message::NewSlot(NewSlotMsg {
@@ -862,6 +877,8 @@ impl Replica for SlottedEngine {
                 if v == self.view && self.awaiting_tc {
                     // Parked at an epoch boundary: retry the Wish (ours or
                     // the TC may have been lost) and keep the timer armed.
+                    self.core.obs.point("wish_retry", v.0, 0);
+                    self.core.obs.counter("wish_retries", 0, 1);
                     self.pm.rewish(&self.core.kp.clone(), out);
                     out.push(Action::SetTimer {
                         timer: Timer::ViewTimeout(v),
@@ -933,6 +950,10 @@ impl Replica for SlottedEngine {
 
     fn committed_chain(&self) -> Vec<BlockId> {
         self.core.committed.clone()
+    }
+
+    fn set_observer(&mut self, obs: Obs) {
+        self.core.set_observer(obs);
     }
 
     fn set_persistence(&mut self, persist: Box<dyn Persistence>) {

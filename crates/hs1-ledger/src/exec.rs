@@ -23,6 +23,7 @@ use crate::kv::KvStore;
 use crate::par;
 use crate::spec::SpeculativeStore;
 use hs1_crypto::{Digest, Sha256};
+use hs1_obs::Obs;
 use hs1_types::{BlockId, Transaction};
 
 /// Default executor worker count: `HS1_EXEC_WORKERS` when set (the CI
@@ -72,6 +73,10 @@ pub struct ExecutionEngine {
     /// Count of transactions executed (including re-executions after
     /// rollback; metric).
     executed_txs: u64,
+    /// Observability sink (no-op by default). Wave counts and critical-
+    /// path slots are deterministic counters; batch execute time is
+    /// wall-measured and therefore confined to a histogram.
+    obs: Obs,
 }
 
 impl ExecutionEngine {
@@ -84,7 +89,13 @@ impl ExecutionEngine {
             digests: HashMap::new(),
             workers: config.workers.max(1),
             executed_txs: 0,
+            obs: Obs::noop(),
         }
+    }
+
+    /// Install an observability sink (pure observer; see `hs1-obs`).
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Speculatively execute `txs` as block `block` (into a fresh
@@ -190,7 +201,16 @@ impl ExecutionEngine {
     /// values are hashed in batch order regardless of how many workers
     /// computed them.
     fn run_block(&mut self, block: BlockId, txs: &[Transaction], speculative: bool) -> Digest {
+        let started = self.obs.enabled().then(std::time::Instant::now);
         let outcome = par::execute_batch(&self.store, txs, self.workers);
+        if let Some(t0) = started {
+            // Wall time goes to the histogram only — never the trace.
+            self.obs.observe_nanos("exec_batch_ns", t0.elapsed().as_nanos() as u64);
+            self.obs.counter("exec_batches", 0, 1);
+            self.obs.counter("exec_waves", 0, outcome.waves as u64);
+            self.obs.counter("exec_critical_slots", 0, outcome.critical_slots);
+            self.obs.counter("exec_txs", 0, txs.len() as u64);
+        }
         if speculative {
             self.store.apply_speculative(outcome.writes);
         } else {
@@ -397,10 +417,10 @@ mod tests {
         let keep: Vec<BlockId> = (0..KEEP as u64).map(|i| BlockId::test(i + 1)).collect();
         assert_eq!(e.rollback_conflicting(&keep), DEPTH as usize - KEEP);
         assert_eq!(e.store().depth(), KEEP);
-        for i in 0..DEPTH as usize {
+        for (i, digest) in digests.iter().enumerate() {
             let id = BlockId::test(i as u64 + 1);
             if i < KEEP {
-                assert_eq!(e.digest_of(id), Some(digests[i]), "kept prefix digest survives");
+                assert_eq!(e.digest_of(id), Some(*digest), "kept prefix digest survives");
                 assert!(e.is_speculating(id));
             } else {
                 assert_eq!(e.digest_of(id), None, "rolled-back digest pruned");

@@ -184,17 +184,25 @@ pub fn schedule(txs: &[Transaction]) -> WavePlan {
 }
 
 /// Outcome of executing one batch: per-transaction result values (batch
-/// order) and the block's write set, plus the wave count for metrics.
+/// order) and the block's write set, plus scheduling metrics.
 pub struct BatchOutcome {
     pub results: Vec<u64>,
     pub writes: HashMap<Key, Value>,
     pub waves: usize,
+    /// Critical-path length in transaction slots at the worker count the
+    /// batch ran with ([`WavePlan::critical_slots`]; equals the batch
+    /// length on the sequential path).
+    pub critical_slots: u64,
 }
 
 /// Execute `txs` against `store` without mutating it, on up to `workers`
 /// threads. The caller applies [`BatchOutcome::writes`] to the store
 /// (speculative overlay or committed base) afterwards.
-pub fn execute_batch(store: &SpeculativeStore, txs: &[Transaction], workers: usize) -> BatchOutcome {
+pub fn execute_batch(
+    store: &SpeculativeStore,
+    txs: &[Transaction],
+    workers: usize,
+) -> BatchOutcome {
     if workers <= 1 || txs.len() < PAR_MIN_BATCH {
         return execute_sequential(store, txs);
     }
@@ -214,7 +222,8 @@ fn execute_sequential(store: &SpeculativeStore, txs: &[Transaction]) -> BatchOut
         // exactly the sequential prefix state.
         results.push(apply_tx(store, &empty, &mut buf, tx));
     }
-    BatchOutcome { results, writes: buf, waves: if txs.is_empty() { 0 } else { 1 } }
+    let waves = if txs.is_empty() { 0 } else { 1 };
+    BatchOutcome { results, writes: buf, waves, critical_slots: txs.len() as u64 }
 }
 
 /// A chunk of one wave, dispatched to the pool.
@@ -295,7 +304,8 @@ fn execute_waves(
         drop(job_tx);
     });
     let writes = completed.into_inner().expect("write-buffer poisoned");
-    BatchOutcome { results, writes, waves: plan.waves.len() }
+    let critical_slots = plan.critical_slots(workers);
+    BatchOutcome { results, writes, waves: plan.waves.len(), critical_slots }
 }
 
 fn merge(results: &mut [u64], completed: &RwLock<HashMap<Key, Value>>, out: ChunkOut) {

@@ -108,7 +108,7 @@ fn assert_speculative_equivalence(blocks: &[Vec<Transaction>], label: &str) {
 
 #[test]
 fn random_mixed_batches_committed_path() {
-    let mut rng = SplitMix64::new(0x9a11_e7);
+    let mut rng = SplitMix64::new(0x009a_11e7);
     for case in 0..8 {
         let blocks: Vec<_> = (0..3).map(|_| random_batch(&mut rng, BATCH)).collect();
         assert_committed_equivalence(&blocks, &format!("mixed case {case}"));
@@ -117,7 +117,7 @@ fn random_mixed_batches_committed_path() {
 
 #[test]
 fn random_mixed_batches_speculative_path() {
-    let mut rng = SplitMix64::new(0xdead_51);
+    let mut rng = SplitMix64::new(0x00de_ad51);
     for case in 0..4 {
         let blocks: Vec<_> = (0..2).map(|_| random_batch(&mut rng, BATCH)).collect();
         assert_speculative_equivalence(&blocks, &format!("speculative case {case}"));
@@ -140,7 +140,7 @@ fn pathological_conflict_chain() {
             }
         })
         .collect();
-    assert_committed_equivalence(&[batch.clone()], "conflict chain");
+    assert_committed_equivalence(std::slice::from_ref(&batch), "conflict chain");
     assert_speculative_equivalence(&[batch], "conflict chain");
 }
 
@@ -149,7 +149,7 @@ fn pathological_conflict_chain() {
 fn conflict_free_batch() {
     let batch: Vec<_> =
         (0..BATCH as u64).map(|seq| Transaction::kv_write(1, seq, seq * 13, seq)).collect();
-    assert_committed_equivalence(&[batch.clone()], "conflict-free");
+    assert_committed_equivalence(std::slice::from_ref(&batch), "conflict-free");
     assert_speculative_equivalence(&[batch], "conflict-free");
 }
 
@@ -184,7 +184,7 @@ fn tpcc_only_batches() {
                 Transaction::new(TxId::new(ClientId(2), seq), op)
             })
             .collect();
-        assert_committed_equivalence(&[batch.clone()], &format!("tpcc case {case}"));
+        assert_committed_equivalence(std::slice::from_ref(&batch), &format!("tpcc case {case}"));
         assert_speculative_equivalence(&[batch], &format!("tpcc case {case}"));
     }
 }

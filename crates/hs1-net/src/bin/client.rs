@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use hs1_net::client_driver::ClientDriver;
 use hs1_net::DEFAULT_BASE_PORT;
+use hs1_obs::{Clock, Obs};
 use hs1_types::{ClientId, ProtocolKind, SystemConfig};
 
 fn main() {
@@ -39,4 +40,12 @@ fn main() {
         samples.len(),
         mean_us as f64 / 1000.0
     );
+    // Re-route the per-sample data through the shared metrics snapshot
+    // formatter so the TCP summary uses the same schema as sim reports.
+    let (obs, rec) = Obs::recording(Clock::wall());
+    obs.counter("txs_finalized", 0, samples.len() as u64);
+    for (_, us) in &samples {
+        obs.observe_nanos("client_e2e_ns", us * 1000);
+    }
+    print!("{}", rec.lock().expect("recorder").snapshot().to_table());
 }

@@ -10,6 +10,7 @@ use hs1_ledger::ExecConfig;
 use hs1_net::mesh::Mesh;
 use hs1_net::node::NodeRunner;
 use hs1_net::DEFAULT_BASE_PORT;
+use hs1_obs::{Clock, Obs};
 use hs1_types::{ProtocolKind, ReplicaId, SystemConfig};
 
 fn parse_protocol(s: &str) -> ProtocolKind {
@@ -42,6 +43,12 @@ fn main() {
     let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
     println!("replica {id}/{n} [{}] on port {}", protocol.name(), base_port + id as u16);
     let mut runner = NodeRunner::new(engine, mesh);
+    // Wall-clock observer: the summary below shares the metrics schema
+    // with the simulator's snapshots (byte-identical traces are only
+    // promised under the sim's manual clock).
+    let (obs, rec) = Obs::recording(Clock::wall());
+    runner.set_observer(obs);
     runner.run_for(Duration::from_secs(seconds));
     println!("replica {id} done: {} blocks committed", runner.committed_blocks);
+    print!("{}", rec.lock().expect("recorder").snapshot().to_table());
 }

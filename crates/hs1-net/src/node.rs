@@ -32,6 +32,7 @@ use hs1_adversary::AdversaryMutator;
 use hs1_core::persist::RecoveredState;
 use hs1_core::replica::{Action, Replica, Timer};
 use hs1_crypto::Sha256;
+use hs1_obs::Obs;
 use hs1_statesync::{SnapshotServer, SyncClient, SyncConfig, SyncPhase, SyncStats};
 use hs1_storage::{RecoveryInfo, ReplicaStorage, StorageConfig, StorageError};
 use hs1_types::message::ResponseMsg;
@@ -69,8 +70,13 @@ pub struct NodeRunner {
     /// `hs1_adversary::AdversaryEngine` instead).
     adversary: Option<AdversaryMutator>,
     /// Storage held back until the sync phase decides what to install
-    /// (`with_state_sync` only; `with_storage` installs immediately).
+    /// (`with_state_sync` only).
     pending_sync: Option<(ReplicaStorage, StateSyncConfig)>,
+    /// Storage held back until `run_for` (`with_storage` only) so an
+    /// observer attached after construction still reaches it.
+    pending_storage: Option<ReplicaStorage>,
+    /// Observability sink (noop unless installed; see `hs1-obs`).
+    obs: Obs,
     /// Non-statesync traffic that arrived during the sync phase, replayed
     /// into the engine when it starts.
     deferred: Vec<Inbound>,
@@ -95,6 +101,8 @@ impl NodeRunner {
             server: None,
             adversary: None,
             pending_sync: None,
+            pending_storage: None,
+            obs: Obs::noop(),
             deferred: Vec::new(),
             committed_blocks: 0,
             recovery: None,
@@ -116,10 +124,13 @@ impl NodeRunner {
         let (state, storage) = ReplicaStorage::open(dir.as_ref(), cfg)?;
         let recovery = storage.recovery_info.clone();
         engine.restore(state);
-        engine.set_persistence(Box::new(storage));
         let mut runner = NodeRunner::new(engine, mesh);
         runner.server = Some(SnapshotServer::new(dir.as_ref()));
         runner.recovery = Some(recovery);
+        // Installed at `run_for` (after restore, before the first
+        // `on_init` — the Persistence contract), so a later
+        // `set_observer` still reaches the journal hooks.
+        runner.pending_storage = Some(storage);
         Ok(runner)
     }
 
@@ -154,6 +165,16 @@ impl NodeRunner {
     /// `hs1_adversary::AdversaryEngine` for the engine-traffic half.
     pub fn set_adversary(&mut self, mutator: AdversaryMutator) {
         self.adversary = Some(mutator);
+    }
+
+    /// Install an observability sink (typically wall-clocked:
+    /// `Obs::recording(Clock::wall())`) in the node loop, the hosted
+    /// engine, and — for durable nodes — the journal hooks. Node-level
+    /// instrumentation is metrics-only: per-peer send/recv counters and
+    /// queue-depth gauges.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.engine.set_observer(obs.clone());
+        self.obs = obs.with_actor(self.engine.id().0);
     }
 
     /// Serve a snapshot response, mutated by the adversary layer when one
@@ -211,6 +232,11 @@ impl NodeRunner {
             self.run_sync_phase(&mut storage, &sync_cfg, deadline);
             // Whatever the sync phase decided, the journal goes live now
             // (install_snapshot already ran inside on success).
+            storage.set_observer(self.obs.clone());
+            self.engine.set_persistence(Box::new(storage));
+        }
+        if let Some(mut storage) = self.pending_storage.take() {
+            storage.set_observer(self.obs.clone());
             self.engine.set_persistence(Box::new(storage));
         }
 
@@ -243,13 +269,20 @@ impl NodeRunner {
                 .map(|Reverse((at, _, _))| Duration::from_nanos(at.0.saturating_sub(self.now().0)))
                 .unwrap_or(Duration::from_millis(5))
                 .min(Duration::from_millis(5));
+            if self.obs.enabled() {
+                self.obs.gauge("timer_queue_depth", 0, self.timers.len() as u64);
+            }
             if let Ok(inbound) = self.mesh.inbox.recv_timeout(wait) {
                 self.handle_inbound(inbound);
             }
         }
+        self.obs.flush();
     }
 
     fn handle_inbound(&mut self, inbound: Inbound) {
+        if let Inbound::FromReplica(from, _) = &inbound {
+            self.obs.counter("msgs_recv", from.0, 1);
+        }
         match inbound {
             Inbound::FromReplica(from, msg) => match msg {
                 // Serving side of state sync lives at the node layer;
@@ -267,6 +300,7 @@ impl NodeRunner {
             },
             Inbound::FromClient(_client, msg) => {
                 if let Message::Request(tx) = msg {
+                    self.obs.counter("requests_recv", 0, 1);
                     self.engine.enqueue_txs(&[tx]);
                 }
             }
@@ -350,8 +384,14 @@ impl NodeRunner {
     fn dispatch(&mut self, actions: Vec<Action>) {
         for a in actions {
             match a {
-                Action::Send { to, msg } => self.mesh.send_replica(to, msg),
-                Action::Broadcast { msg } => self.mesh.broadcast(msg),
+                Action::Send { to, msg } => {
+                    self.obs.counter("msgs_sent", to.0, 1);
+                    self.mesh.send_replica(to, msg)
+                }
+                Action::Broadcast { msg } => {
+                    self.obs.counter("msgs_broadcast", 0, 1);
+                    self.mesh.broadcast(msg)
+                }
                 Action::SetTimer { timer, at } => {
                     self.timer_seq += 1;
                     self.timers.push(Reverse((at, self.timer_seq, timer)));
@@ -360,6 +400,7 @@ impl NodeRunner {
                     // Fan out per-transaction responses to the issuing
                     // clients. The per-transaction result folds the block
                     // digest with the transaction id.
+                    self.obs.counter("responses_sent", 0, block.txs.len() as u64);
                     for tx in &block.txs {
                         let mut h = Sha256::new();
                         h.update(&digest.0);

@@ -17,6 +17,7 @@ use hs1_adversary::AdversaryStrategy;
 use hs1_core::common::{SharedMempool, TxSource};
 use hs1_core::persist::{Persistence, RecoveredState};
 use hs1_core::replica::{Action, Replica, Timer};
+use hs1_obs::{block_key, Obs, Stage};
 use hs1_storage::{ReplicaStorage, StorageConfig};
 use hs1_types::ids::Rank;
 use hs1_types::{
@@ -26,6 +27,10 @@ use hs1_types::{
 use hs1_workloads::Workload;
 
 const RESPONSE_BYTES_PER_TX: usize = 96;
+
+/// Pseudo-actor id for harness-level trace events (client-oracle
+/// finality, per-block submit means) — distinct from any replica id.
+pub const ORACLE_ACTOR: u32 = u32::MAX;
 
 #[derive(Clone)]
 enum Ev {
@@ -198,6 +203,10 @@ pub struct SimRunner {
     window_end: SimTime,
     hist: LatencyHist,
     stats: RunStats,
+    /// Observability sink shared with every engine; the runner drives its
+    /// manual clock to `now` so trace timestamps are sim-time (and thus
+    /// byte-reproducible per seed).
+    obs: Obs,
     /// `HS1_CHAOS_DEBUG` set: trace view entries and commits to stderr
     /// (chaos-failure forensics; cached so the hot path pays one bool).
     debug_trace: bool,
@@ -257,12 +266,25 @@ impl SimRunner {
             window_end: SimTime::MAX,
             hist: LatencyHist::default(),
             stats: RunStats::default(),
+            obs: Obs::noop(),
             debug_trace: std::env::var_os("HS1_CHAOS_DEBUG").is_some(),
         }
     }
 
     fn n(&self) -> usize {
         self.engines.len()
+    }
+
+    /// Install an observability sink in the runner and every engine. The
+    /// sink's clock should be [`hs1_obs::Clock::manual`]; the runner
+    /// advances it to sim-time before each event, so all trace timestamps
+    /// are deterministic per seed. Pure observer: fingerprints are
+    /// identical with or without a recording sink.
+    pub fn set_observer(&mut self, obs: Obs) {
+        for e in self.engines.iter_mut() {
+            e.set_observer(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// Install a chaos plan: link faults go to the network model, the
@@ -332,6 +354,7 @@ impl SimRunner {
     pub fn run(&mut self, warmup: SimDuration, window: SimDuration) -> RunStats {
         self.warmup_end = SimTime::ZERO + warmup;
         self.window_end = self.warmup_end + window;
+        self.obs.set_now(self.now.0);
         // Initialize engines.
         for i in 0..self.n() {
             let mut out = Vec::new();
@@ -344,6 +367,7 @@ impl SimRunner {
                 break;
             }
             self.now = at;
+            self.obs.set_now(at.0);
             let ev = self.events[idx].clone();
             self.step(ev);
             if self.events.len() > 1 << 20 && self.heap.is_empty() {
@@ -684,6 +708,8 @@ impl SimRunner {
             self.stats.chaos.replay_catchups += 1;
         }
 
+        storage.set_observer(self.obs.with_actor(i as u32));
+        engine.set_observer(self.obs.clone());
         engine.set_persistence(Box::new(storage));
         self.engines[i] = engine;
         let inc = self.incarnation[i];
@@ -768,6 +794,15 @@ impl SimRunner {
         let done = start + self.cost.tx_time(bytes);
         self.nic_free[i] = done;
         let arrival = done + self.net.client_delay(from, &mut self.rng);
+        if self.obs.enabled() {
+            // Stamped at client arrival: the moment this replica's answer
+            // became observable (the quantity finality is defined over).
+            self.obs.with_actor(from.0).stage_at(
+                Stage::Responded,
+                block_key(block.id()),
+                arrival.0,
+            );
+        }
         match kind {
             ReplyKind::Speculative => self.stats.responses.0 += 1,
             ReplyKind::Committed => self.stats.responses.1 += 1,
@@ -780,6 +815,23 @@ impl SimRunner {
     fn on_finality(&mut self, block: Arc<Block>, fin: SimTime) {
         if fin > self.window_end {
             self.late_final.push((block.id(), fin));
+        }
+        if self.obs.enabled() {
+            let key = block_key(block.id());
+            let oracle = self.obs.with_actor(ORACLE_ACTOR);
+            oracle.point_at("finality", key, block.txs.len() as u64, fin.0);
+            // Mean submit time of the block's transactions: the t0 the
+            // latency-breakdown bench anchors its stage decomposition at.
+            let submits: Vec<u64> = block
+                .txs
+                .iter()
+                .filter_map(|t| self.oracle.submit_time(t.id))
+                .map(|s| s.0)
+                .collect();
+            if !submits.is_empty() {
+                let mean = submits.iter().sum::<u64>() / submits.len() as u64;
+                oracle.point_at("submit_mean", key, mean, fin.0);
+            }
         }
         self.finalized_ranks.insert(block.id(), Rank::new(block.view, block.slot));
         for tx in &block.txs {

@@ -24,6 +24,7 @@ use hs1_core::byzantine::Fault;
 use hs1_core::common::SharedMempool;
 use hs1_core::Replica;
 use hs1_ledger::ExecConfig;
+use hs1_obs::Obs;
 use hs1_storage::journal::SyncPolicy;
 use hs1_storage::testutil::TempDir;
 use hs1_storage::{ReplicaStorage, StorageConfig};
@@ -67,6 +68,10 @@ pub struct Scenario {
     /// instead of replaying; `None` asks [`CatchupModel`] for the
     /// crossover.
     pub catchup_threshold: Option<u64>,
+    /// Observability sink threaded into every engine, the storage layer,
+    /// and the runner (see `hs1-obs`). Pure observer: attaching one must
+    /// not change the report's fingerprint. `None` runs with no-op hooks.
+    pub observer: Option<Obs>,
 }
 
 impl Scenario {
@@ -90,6 +95,7 @@ impl Scenario {
             cost: CostModel::default(),
             chaos: None,
             catchup_threshold: None,
+            observer: None,
         }
     }
 
@@ -111,6 +117,15 @@ impl Scenario {
     /// Force the replay-vs-snapshot decision gap for chaos restarts.
     pub fn catchup_threshold(mut self, blocks: u64) -> Self {
         self.catchup_threshold = Some(blocks);
+        self
+    }
+
+    /// Attach an observability sink (build one with
+    /// [`Obs::recording`] over a manual clock). The runner drives the
+    /// clock to sim-time, so recorded traces are byte-reproducible per
+    /// seed.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.observer = Some(obs);
         self
     }
 
@@ -320,9 +335,12 @@ impl Scenario {
                 let mut dirs = Vec::with_capacity(self.n);
                 for (i, engine) in engines.iter_mut().enumerate() {
                     let dir = TempDir::new(&format!("chaos-s{}-r{i}", self.seed));
-                    let (state, storage) = ReplicaStorage::open(dir.path(), storage_cfg)
+                    let (state, mut storage) = ReplicaStorage::open(dir.path(), storage_cfg)
                         .expect("open fresh chaos journal");
                     debug_assert!(state.is_empty(), "fresh dir has no history");
+                    if let Some(obs) = &self.observer {
+                        storage.set_observer(obs.with_actor(i as u32));
+                    }
                     engine.set_persistence(Box::new(storage));
                     dirs.push(dir.path().to_path_buf());
                     chaos_dirs.push(dir);
@@ -386,6 +404,9 @@ impl Scenario {
             workload,
             self.seed,
         );
+        if let Some(obs) = &self.observer {
+            runner.set_observer(obs.clone());
+        }
         if let Some(plan) = &self.chaos {
             runner.install_chaos(plan, chaos_rt);
         }
@@ -429,6 +450,7 @@ impl Scenario {
             fingerprint,
             replica_views,
             replica_chain_lens,
+            observer: self.observer,
         }
     }
 }
@@ -512,6 +534,9 @@ pub struct Report {
     pub replica_views: Vec<u64>,
     /// Per-replica committed-chain length at end of run.
     pub replica_chain_lens: Vec<usize>,
+    /// The observability sink the run was traced into, if any (carried so
+    /// [`Report::ensure_invariants`] can flush it before a hard exit).
+    pub observer: Option<Obs>,
 }
 
 impl Report {
@@ -533,6 +558,11 @@ impl Report {
         );
         for v in &self.invariant_violations {
             eprintln!("  - {v}");
+        }
+        // A violating run is exactly the one whose trace matters: flush
+        // the observer (writing any configured JSONL dump) before dying.
+        if let Some(obs) = &self.observer {
+            obs.flush();
         }
         std::process::exit(1);
     }

@@ -99,6 +99,8 @@ pub struct Journal {
     unsynced: u32,
     /// Total `fsync` calls issued (metric).
     pub fsyncs: u64,
+    /// Total frame bytes appended since open (metric).
+    pub bytes_appended: u64,
 }
 
 impl Journal {
@@ -162,6 +164,7 @@ impl Journal {
             next_seq,
             unsynced: 0,
             fsyncs: 0,
+            bytes_appended: 0,
         };
         Ok((journal, stats))
     }
@@ -182,6 +185,7 @@ impl Journal {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.seg_bytes += frame.len() as u64;
+        self.bytes_appended += frame.len() as u64;
         self.unsynced += 1;
         match self.cfg.sync {
             SyncPolicy::Always => self.sync()?,

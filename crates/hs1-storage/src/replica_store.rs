@@ -18,6 +18,7 @@ use crate::recovery::{recover, RecoveryInfo};
 use crate::StorageError;
 use hs1_core::persist::{Persistence, RecoveredState};
 use hs1_ledger::KvStore;
+use hs1_obs::Obs;
 use hs1_types::{Block, BlockId, Certificate, View};
 
 /// Tuning for a replica's durable storage.
@@ -69,6 +70,11 @@ pub struct ReplicaStorage {
     pub checkpoints_written: u64,
     /// Diagnostics from the recovery pass that opened this storage.
     pub recovery_info: RecoveryInfo,
+    /// Observability sink (noop unless installed; see `hs1-obs`).
+    obs: Obs,
+    /// Journal byte/fsync totals already reported to `obs` (delta cursor).
+    bytes_reported: u64,
+    fsyncs_reported: u64,
 }
 
 impl ReplicaStorage {
@@ -95,6 +101,9 @@ impl ReplicaStorage {
             prune_failures: 0,
             checkpoints_written: 0,
             recovery_info: recovered.info,
+            obs: Obs::noop(),
+            bytes_reported: 0,
+            fsyncs_reported: 0,
         };
         Ok((recovered.state, storage))
     }
@@ -139,12 +148,54 @@ impl ReplicaStorage {
         self.journal.fsyncs
     }
 
+    /// Install an observability sink. Storage emits *metrics only*
+    /// (fsync count + wall latency, journal bytes, checkpoint events) —
+    /// never trace events, so attaching one cannot perturb the
+    /// simulator's byte-identical traces.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Report journal byte/fsync growth since the last call.
+    fn note_journal(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let bytes = self.journal.bytes_appended;
+        if bytes > self.bytes_reported {
+            self.obs.counter("journal_bytes", 0, bytes - self.bytes_reported);
+            self.bytes_reported = bytes;
+        }
+        let fsyncs = self.journal.fsyncs;
+        if fsyncs > self.fsyncs_reported {
+            self.obs.counter("fsyncs", 0, fsyncs - self.fsyncs_reported);
+            self.fsyncs_reported = fsyncs;
+        }
+    }
+
+    /// `journal.sync()` with the fail-stop policy and fsync latency
+    /// attribution (wall time goes to a histogram only — never the trace).
+    fn sync_journal(&mut self) {
+        let before = self.journal.fsyncs;
+        let started = self.obs.enabled().then(std::time::Instant::now);
+        if let Err(e) = self.journal.sync() {
+            panic!("journal sync failed: {e}");
+        }
+        if let Some(t0) = started {
+            if self.journal.fsyncs > before {
+                self.obs.observe_nanos("fsync_ns", t0.elapsed().as_nanos() as u64);
+            }
+        }
+        self.note_journal();
+    }
+
     fn append(&mut self, rec: JournalRecord) {
         match self.journal.append(&rec) {
             Ok(seq) => self.last_seq = Some(seq),
             // Fail-stop: an unwritable journal invalidates recovery.
             Err(e) => panic!("journal append ({}) failed: {e}", rec.kind_name()),
         }
+        self.note_journal();
     }
 }
 
@@ -158,9 +209,7 @@ impl Persistence for ReplicaStorage {
         self.append(JournalRecord::SpecMark(block.clone()));
         // Speculative responses reach clients immediately; make the mark
         // durable before the engine's answer can leave the process.
-        if let Err(e) = self.journal.sync() {
-            panic!("journal sync failed: {e}");
-        }
+        self.sync_journal();
     }
 
     fn on_rollback(&mut self, blocks: usize) {
@@ -177,9 +226,7 @@ impl Persistence for ReplicaStorage {
         // vote for; losing it on crash would weaken the lock the quorum
         // intersection argument depends on. Make it durable before any
         // vote ranked against it can leave.
-        if let Err(e) = self.journal.sync() {
-            panic!("journal sync failed: {e}");
-        }
+        self.sync_journal();
     }
 
     fn on_view(&mut self, view: View) {
@@ -191,9 +238,7 @@ impl Persistence for ReplicaStorage {
         // before any vote of view v can leave the process — so this sync
         // must not ride the batching window. (Decided/Spec records keep
         // the configured SyncPolicy batching.)
-        if let Err(e) = self.journal.sync() {
-            panic!("journal sync failed: {e}");
-        }
+        self.sync_journal();
     }
 
     fn wants_checkpoint(&self) -> bool {
@@ -203,9 +248,7 @@ impl Persistence for ReplicaStorage {
     fn write_checkpoint(&mut self, store: &KvStore, chain: &[BlockId]) {
         // The checkpoint claims coverage of everything journaled so far;
         // that claim must not outrun the journal's own durability.
-        if let Err(e) = self.journal.sync() {
-            panic!("journal sync failed: {e}");
-        }
+        self.sync_journal();
         let Some(journal_seq) = self.last_seq else { return };
         let ckpt =
             Checkpoint::capture(journal_seq, self.view, self.high_cert.clone(), store, chain);
@@ -224,18 +267,19 @@ impl Persistence for ReplicaStorage {
                 }
                 self.checkpoints_written += 1;
                 self.commits_since_checkpoint = 0;
+                self.obs.counter("checkpoints_written", 0, 1);
             }
             Err(_) => {
                 // Journal remains complete; recovery just replays more.
                 self.checkpoint_failures += 1;
+                self.obs.counter("checkpoint_failures", 0, 1);
             }
         }
+        self.note_journal();
     }
 
     fn sync(&mut self) {
-        if let Err(e) = self.journal.sync() {
-            panic!("journal sync failed: {e}");
-        }
+        self.sync_journal();
     }
 }
 

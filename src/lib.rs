@@ -10,6 +10,7 @@
 //! * [`consensus`] — the protocol engines ([`hs1_core`])
 //! * [`adversary`] — backup-side Byzantine strategies as a message-mutation
 //!   layer over any engine ([`hs1_adversary`])
+//! * [`obs`] — deterministic tracing + metrics observer layer ([`hs1_obs`])
 //! * [`storage`] — durable journal, checkpoints, crash recovery ([`hs1_storage`])
 //! * [`statesync`] — snapshot state transfer for fast catch-up ([`hs1_statesync`])
 //! * [`sim`] — deterministic discrete-event simulator, including the
@@ -40,6 +41,7 @@ pub use hs1_core as consensus;
 pub use hs1_crypto as crypto;
 pub use hs1_ledger as ledger;
 pub use hs1_net as net;
+pub use hs1_obs as obs;
 pub use hs1_sim as sim;
 pub use hs1_statesync as statesync;
 pub use hs1_storage as storage;
