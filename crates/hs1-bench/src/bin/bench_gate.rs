@@ -1,0 +1,159 @@
+//! `bench_gate` — the perf-regression gate. Compares the metrics that
+//! `bench_summary` extracted into `bench_results/summary.json` against
+//! the committed `BENCH_baseline.json` (repo root), one tolerance per
+//! metric, and exits non-zero on any violation.
+//!
+//! Direction matters: a `higher_is_better` metric (goodput, speedup)
+//! fails when the fresh value drops below `value * (1 - tol_frac)`; a
+//! latency-style metric fails when it rises above `value * (1 + tol_frac)`.
+//! Improvements never fail the gate — they are the cue to ratchet the
+//! baseline in the same PR. A baseline metric missing from the summary is
+//! a hard failure too, so CI cannot quietly skip regenerating a figure.
+//!
+//! Both JSON files are emitted by this workspace with one scalar or one
+//! metric object per line, and the parser leans on that shape (the
+//! workspace is std-only by design, so no JSON dependency). Usage:
+//!
+//! ```text
+//! bench_gate [path/to/BENCH_baseline.json]
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn read_or_die(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: read {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// The quoted key at the start of a `"key": ...` line.
+fn line_key(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// The number following `"field":` on this line.
+fn field_f64(line: &str, field: &str) -> Option<f64> {
+    let at = line.find(&format!("\"{field}\":"))?;
+    let rest = &line[at + field.len() + 3..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// `"key": <number>` entries inside the summary's `"metrics"` object.
+fn summary_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"metrics\"") {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if t.starts_with('}') {
+                break;
+            }
+            if let Some(key) = line_key(line) {
+                let val = t
+                    .rsplit(':')
+                    .next()
+                    .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok());
+                if let Some(v) = val {
+                    out.push((key.to_string(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+struct BaselineMetric {
+    name: String,
+    value: f64,
+    tol_frac: f64,
+    higher_is_better: bool,
+}
+
+/// `"key": {"value": V, "tol_frac": T, "higher_is_better": B}` lines.
+fn baseline_metrics(text: &str) -> Vec<BaselineMetric> {
+    text.lines()
+        .filter(|l| l.contains("\"value\""))
+        .filter_map(|l| {
+            Some(BaselineMetric {
+                name: line_key(l)?.to_string(),
+                value: field_f64(l, "value")?,
+                tol_frac: field_f64(l, "tol_frac")?,
+                higher_is_better: l.contains("\"higher_is_better\": true"),
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let root = workspace_root();
+    let baseline_path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("BENCH_baseline.json"));
+    let summary_path = root.join("bench_results").join("summary.json");
+
+    let baseline = baseline_metrics(&read_or_die(&baseline_path));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no metrics in {}", baseline_path.display());
+        std::process::exit(1);
+    }
+    let fresh = summary_metrics(&read_or_die(&summary_path));
+
+    println!(
+        "bench_gate: {} baseline metrics ({}) vs {}",
+        baseline.len(),
+        baseline_path.display(),
+        summary_path.display(),
+    );
+    let mut violations = 0usize;
+    for b in &baseline {
+        let Some((_, got)) = fresh.iter().find(|(k, _)| *k == b.name) else {
+            println!("  FAIL {:<26} missing from summary (figure not regenerated?)", b.name);
+            violations += 1;
+            continue;
+        };
+        let (bound, ok, cmp) = if b.higher_is_better {
+            let floor = b.value * (1.0 - b.tol_frac);
+            (floor, *got >= floor, ">=")
+        } else {
+            let ceil = b.value * (1.0 + b.tol_frac);
+            (ceil, *got <= ceil, "<=")
+        };
+        let verdict = if ok { "  ok" } else { "FAIL" };
+        println!(
+            "  {verdict} {:<26} fresh {:>12.3} {cmp} bound {:>12.3}  (baseline {:.3} ±{:.0}%)",
+            b.name,
+            got,
+            bound,
+            b.value,
+            b.tol_frac * 100.0,
+        );
+        if !ok {
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        eprintln!("bench_gate: {violations} metric(s) regressed past tolerance");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all metrics within tolerance");
+}

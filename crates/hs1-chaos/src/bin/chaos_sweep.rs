@@ -14,6 +14,8 @@
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --replay 'hs1:...' --trace /tmp/run.jsonl   # + structured trace dump
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
+//!     --replay 'hs1:...' --metrics /tmp/run.csv   # + counter/gauge snapshot
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --seeds 4 --inject rollback             # prove the gate trips
 //! ```
 
@@ -34,6 +36,8 @@ struct Args {
     replay: Option<String>,
     /// Replay mode: dump the run's deterministic JSONL trace here.
     trace: Option<String>,
+    /// Replay mode: dump the run's `MetricsSnapshot` CSV here.
+    metrics: Option<String>,
     config: ChaosConfig,
     quiet: bool,
 }
@@ -43,7 +47,7 @@ fn usage() -> ! {
         "usage: chaos_sweep [--seeds N] [--start K] [--sim-seconds F] \
          [--protocols hs,hs2,hs1,basic,slotted] [--threshold BLOCKS] \
          [--config default|lossy|events|legacy] [--inject none|halt|rollback|forge] \
-         [--replay '<protocol>:<plan-spec>'] [--trace PATH] [--quiet]"
+         [--replay '<protocol>:<plan-spec>'] [--trace PATH] [--metrics PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -58,6 +62,7 @@ fn parse_args() -> Args {
         inject: Inject::None,
         replay: None,
         trace: None,
+        metrics: None,
         config: ChaosConfig::default(),
         quiet: false,
     };
@@ -87,6 +92,7 @@ fn parse_args() -> Args {
             "--inject" => args.inject = Inject::parse(&val("--inject")).unwrap_or_else(|| usage()),
             "--replay" => args.replay = Some(val("--replay")),
             "--trace" => args.trace = Some(val("--trace")),
+            "--metrics" => args.metrics = Some(val("--metrics")),
             "--config" => {
                 args.config = match val("--config").as_str() {
                     "default" => ChaosConfig::default(),
@@ -127,11 +133,14 @@ fn replay(args: &Args, spec: &str) -> ! {
     println!("replaying {} under {}", case.plan, case.protocol.name());
     let mut scenario = case.scenario();
     let mut recorder = None;
-    if let Some(path) = &args.trace {
+    if args.trace.is_some() || args.metrics.is_some() {
         // A recording observer over the sim-driven manual clock: the
-        // dumped JSONL is byte-identical across replays of the same spec.
+        // dumped JSONL is byte-identical across replays of the same spec
+        // (and so are the snapshot's counter/gauge rows).
         let (obs, rec) = Obs::recording(Clock::manual());
-        rec.lock().unwrap().set_trace_path(path.into());
+        if let Some(path) = &args.trace {
+            rec.lock().unwrap().set_trace_path(path.into());
+        }
         scenario = scenario.with_observer(obs);
         recorder = Some(rec);
     }
@@ -157,18 +166,28 @@ fn replay(args: &Args, spec: &str) -> ! {
     println!("  fingerprint: {:#018x}", report.fingerprint);
     report.ensure_invariants("replay");
     println!("  invariants hold");
-    if let (Some(rec), Some(path)) = (recorder, &args.trace) {
+    if let Some(rec) = recorder {
         let mut rec = rec.lock().unwrap();
-        if let Err(e) = rec.flush_to_path() {
-            eprintln!("failed to write trace {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = &args.trace {
+            if let Err(e) = rec.flush_to_path() {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(1);
+            }
+            let snapshot = rec.snapshot();
+            println!(
+                "  trace: {} events, {} metric rows -> {path}",
+                rec.trace().len(),
+                snapshot.rows.len()
+            );
         }
-        let snapshot = rec.snapshot();
-        println!(
-            "  trace: {} events, {} metric rows -> {path}",
-            rec.trace().len(),
-            snapshot.rows.len()
-        );
+        if let Some(path) = &args.metrics {
+            let snapshot = rec.snapshot();
+            if let Err(e) = std::fs::write(path, snapshot.to_csv()) {
+                eprintln!("failed to write metrics {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  metrics: {} rows -> {path}", snapshot.rows.len());
+        }
     }
     std::process::exit(0);
 }

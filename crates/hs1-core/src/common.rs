@@ -38,7 +38,19 @@ pub trait TxSource: Send {
 /// Mempool shared by all simulated replicas of a deployment.
 #[derive(Clone, Default)]
 pub struct SharedMempool {
-    inner: Arc<Mutex<VecDeque<Transaction>>>,
+    inner: Arc<Mutex<SharedInner>>,
+}
+
+#[derive(Default)]
+struct SharedInner {
+    queue: VecDeque<Transaction>,
+    /// Every transaction id ever admitted. A replayed or
+    /// duplicate-submitted `Request` is dropped at admission, not
+    /// re-proposed — re-proposal would double-execute the id on every
+    /// replica's ledger.
+    seen: HashSet<TxId>,
+    /// Admissions rejected as duplicates (the `requests_deduped` metric).
+    deduped: u64,
 }
 
 impl SharedMempool {
@@ -48,21 +60,31 @@ impl SharedMempool {
 
     /// Number of pending transactions.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("mempool lock").len()
+        self.inner.lock().expect("mempool lock").queue.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total duplicate submissions dropped at admission.
+    pub fn deduped(&self) -> u64 {
+        self.inner.lock().expect("mempool lock").deduped
+    }
 }
 
 impl TxSource for SharedMempool {
     fn offer(&mut self, tx: Transaction) {
-        self.inner.lock().expect("mempool lock").push_back(tx);
+        let mut inner = self.inner.lock().expect("mempool lock");
+        if !inner.seen.insert(tx.id) {
+            inner.deduped += 1;
+            return;
+        }
+        inner.queue.push_back(tx);
     }
 
     fn take_batch(&mut self, max: usize) -> Vec<Transaction> {
-        let mut q = self.inner.lock().expect("mempool lock");
+        let q = &mut self.inner.lock().expect("mempool lock").queue;
         let take = max.min(q.len());
         q.drain(..take).collect()
     }
@@ -72,7 +94,9 @@ impl TxSource for SharedMempool {
     }
 
     fn resurrect(&mut self, txs: &[Transaction]) {
-        let mut q = self.inner.lock().expect("mempool lock");
+        // Orphan resurrection bypasses the seen filter: the ids were
+        // admitted once (they are in `seen`) and must re-enter the queue.
+        let q = &mut self.inner.lock().expect("mempool lock").queue;
         for tx in txs {
             q.push_front(*tx);
         }
@@ -84,19 +108,30 @@ impl TxSource for SharedMempool {
 pub struct LocalMempool {
     queue: VecDeque<Transaction>,
     absorbed: HashSet<TxId>,
+    /// Ids admitted into the queue (never removed: a client resending an
+    /// id it already submitted is a duplicate even after proposal).
+    seen: HashSet<TxId>,
+    deduped: u64,
 }
 
 impl LocalMempool {
     pub fn new() -> LocalMempool {
         LocalMempool::default()
     }
+
+    /// Total duplicate/replayed requests dropped at admission.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
 }
 
 impl TxSource for LocalMempool {
     fn offer(&mut self, tx: Transaction) {
-        if !self.absorbed.contains(&tx.id) {
-            self.queue.push_back(tx);
+        if self.absorbed.contains(&tx.id) || !self.seen.insert(tx.id) {
+            self.deduped += 1;
+            return;
         }
+        self.queue.push_back(tx);
     }
 
     fn take_batch(&mut self, max: usize) -> Vec<Transaction> {
@@ -578,9 +613,23 @@ mod tests {
         assert_eq!(m.take_batch(10), vec![t2]);
         m.resurrect(&[t2]);
         assert_eq!(m.take_batch(10), vec![t2]);
-        // Offer of an absorbed tx is dropped.
+        // Offer of an absorbed tx is dropped and counted.
         m.offer(t2);
         assert!(m.take_batch(10).is_empty());
+        assert_eq!(m.deduped(), 1);
+    }
+
+    #[test]
+    fn local_mempool_counts_duplicate_submissions() {
+        let mut m = LocalMempool::new();
+        let t1 = Transaction::kv_write(1, 1, 1, 1);
+        m.offer(t1);
+        m.offer(t1); // client retransmit while still queued
+        assert_eq!(m.deduped(), 1);
+        assert_eq!(m.take_batch(10), vec![t1]);
+        m.offer(t1); // replay after proposal
+        assert_eq!(m.deduped(), 2);
+        assert!(m.take_batch(10).is_empty(), "replayed id is not re-proposed");
     }
 
     #[test]
@@ -592,6 +641,23 @@ mod tests {
         assert_eq!(b.take_batch(1).len(), 1, "clone sees shared queue");
         assert_eq!(a.take_batch(10).len(), 1, "drained once globally");
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn shared_mempool_dedupes_duplicate_submissions() {
+        let mut m = SharedMempool::new();
+        let t1 = Transaction::kv_write(1, 1, 1, 1);
+        m.offer(t1);
+        m.offer(t1); // duplicate while queued
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.take_batch(10), vec![t1]);
+        m.offer(t1); // replay after the leader drained it
+        assert!(m.take_batch(10).is_empty(), "replayed id is not re-proposed");
+        assert_eq!(m.deduped(), 2);
+        // Orphan resurrection is not a duplicate: the id re-enters.
+        m.resurrect(&[t1]);
+        assert_eq!(m.take_batch(10), vec![t1]);
+        assert_eq!(m.deduped(), 2);
     }
 
     #[test]

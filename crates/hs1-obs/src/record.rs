@@ -78,7 +78,14 @@ impl Histogram {
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if b == 0 { 0 } else { (1u64 << (b - 1)).saturating_mul(2) - 1 };
+                // Upper edge of bucket `b`: 2^b - 1; the top bucket
+                // (b = 64) has no finite doubled edge, so it covers
+                // everything up to u64::MAX.
+                return if b == 0 {
+                    0
+                } else {
+                    (1u64 << (b - 1)).checked_mul(2).map_or(u64::MAX, |hi| hi - 1)
+                };
             }
         }
         self.max
@@ -322,6 +329,49 @@ mod tests {
         assert!(h.quantile(0.99) >= 1_000_000);
         let empty = Histogram::default();
         assert_eq!(empty.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_log2_bucket_edges() {
+        // Bucket index is the number of significant bits: 0 is its own
+        // bucket, each power of two opens the next one.
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        for k in 1..64 {
+            assert_eq!(Histogram::bucket(1u64 << k), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(Histogram::bucket((1u64 << k) - 1), k, "2^{k}-1 stays in bucket {k}");
+        }
+        assert_eq!(Histogram::bucket(u64::MAX), LOG2_BUCKETS - 1, "top bucket is in range");
+    }
+
+    #[test]
+    fn histogram_handles_extreme_samples() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.quantile(0.01), 0, "the smallest sample sits in bucket 0");
+        assert_eq!(h.quantile(1.0), u64::MAX, "top bucket edge covers the largest sample");
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn counters_are_monotone_under_interleaved_observers() {
+        // Counters only ever accumulate non-negative deltas — a sequence
+        // of re-attachments (as chaos crash-restart does with storage)
+        // must observe a non-decreasing series.
+        let mut r = RecordingObserver::new();
+        let mut last = 0;
+        for delta in [5u64, 0, 17, 3, 0, 1] {
+            r.add_counter(0, "journal_bytes", 0, delta);
+            let now = r.snapshot().counter_total("journal_bytes");
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+        assert_eq!(last, 26);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod cost;
 pub mod net;
+pub mod openloop;
 pub mod oracle;
 pub mod regions;
 pub mod runner;
@@ -41,6 +42,7 @@ pub use chaos::{ChaosConfig, ChaosEvent, ChaosEventKind, ChaosPlan, LinkAxis, Li
 pub use cost::{CostModel, CpuModel, DiskModel};
 pub use hs1_adversary::AdversaryStrategy;
 pub use hs1_types::ProtocolKind;
+pub use openloop::{ArrivalKind, OpenLoop};
 pub use runner::ChaosStats;
 pub use scenario::{Report, Scenario, WorkloadKind};
 pub use statesync::CatchupModel;

@@ -139,6 +139,11 @@ impl ClientOracle {
         self.submit_times.remove(&tx)
     }
 
+    /// Transactions submitted but not yet finalized (the in-flight gauge).
+    pub fn pending(&self) -> usize {
+        self.submit_times.len()
+    }
+
     /// A replica's response for `block` arrives at the client at
     /// `arrival`. Returns the finality time if this response completes a
     /// quorum.

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use crate::chaos::{ChaosEventKind, ChaosPlan};
 use crate::cost::CostModel;
 use crate::net::NetModel;
+use crate::openloop::{ArrivalGen, OpenLoop};
 use crate::oracle::{ClientOracle, LatencyHist};
 use crate::statesync::CatchupModel;
 use hs1_adversary::AdversaryStrategy;
@@ -43,6 +44,8 @@ enum Ev {
     Timer { at: ReplicaId, timer: Timer, inc: u32 },
     /// A client request lands in the shared mempool.
     Submit { tx: Transaction },
+    /// The next open-loop arrival fires (schedules its successor).
+    OpenArrival,
     /// A scheduled chaos transition (partition/heal/crash/restart).
     Chaos { kind: ChaosEventKind },
     /// Recovery (and, if chosen, the modeled snapshot transfer) finished;
@@ -124,6 +127,18 @@ impl Replica for Downed {
     }
 }
 
+/// Open-loop client state: the arrival stream plus the bookkeeping the
+/// duplicate-submitting adversary and the round-robin client pool need.
+struct OpenState {
+    gen: ArrivalGen,
+    cfg: OpenLoop,
+    next_client: u32,
+    /// Arrivals fired so far (drives `duplicate_every`).
+    arrivals: u64,
+    /// The previous fresh transaction (what a duplicate resubmits).
+    last_tx: Option<Transaction>,
+}
+
 /// Aggregated counters produced by a run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -132,6 +147,15 @@ pub struct RunStats {
     pub rollbacks: u64,
     pub views_entered: u64,
     pub orphaned_blocks: u64,
+    /// Open-loop transactions offered inside the measurement window
+    /// (fresh arrivals only; zero on closed-loop runs).
+    pub offered_txs: u64,
+    /// Submissions rejected by mempool admission control inside the
+    /// measurement window (backpressure).
+    pub admission_drops: u64,
+    /// Duplicate submissions dropped by mempool admission dedup
+    /// (whole-run total, from the shared pool's counter).
+    pub requests_deduped: u64,
     /// Replica responses observed by the client oracle (spec, committed).
     pub responses: (u64, u64),
     pub mean_latency_ms: f64,
@@ -160,6 +184,8 @@ pub struct SimRunner {
     workload: Box<dyn Workload>,
     client_seq: HashMap<ClientId, u64>,
     request_delay: SimDuration,
+    /// Open-loop arrival machinery; `None` = closed-loop clients.
+    open_loop: Option<OpenState>,
 
     /// All proposed blocks in flight (for orphan resurrection).
     proposed: HashMap<BlockId, Arc<Block>>,
@@ -247,6 +273,7 @@ impl SimRunner {
             workload,
             client_seq: HashMap::new(),
             request_delay,
+            open_loop: None,
             proposed: HashMap::new(),
             committed_first: HashSet::new(),
             late_final: Vec::new(),
@@ -341,12 +368,60 @@ impl SimRunner {
         }
     }
 
-    fn issue_tx(&mut self, client: ClientId, submit: SimTime) {
+    /// Install open-loop clients instead of [`SimRunner::spawn_clients`]:
+    /// transactions arrive on `cfg`'s schedule regardless of finality, so
+    /// the run can be driven past saturation. The arrival RNG is a fork of
+    /// the runner's stream — closed-loop runs consume zero extra draws, so
+    /// their event sequences (and fingerprints) are untouched.
+    pub fn spawn_open_loop(&mut self, cfg: OpenLoop) {
+        let mut gen = ArrivalGen::new(&cfg, self.rng.fork(0x09e4_10ad));
+        let first = gen.next_arrival();
+        self.open_loop = Some(OpenState { gen, cfg, next_client: 0, arrivals: 0, last_tx: None });
+        self.push(first, Ev::OpenArrival);
+    }
+
+    fn issue_tx(&mut self, client: ClientId, submit: SimTime) -> Transaction {
         let seq = self.client_seq.entry(client).or_insert(0);
         let tx = self.workload.next_tx(client, *seq);
         *seq += 1;
         self.oracle.note_submit(tx.id, submit);
         self.push(submit + self.request_delay, Ev::Submit { tx });
+        tx
+    }
+
+    /// One open-loop arrival: issue a fresh transaction (or, for the
+    /// duplicate-submitting adversary's turns, resubmit the previous one)
+    /// and schedule the next arrival. Arrivals stop at the end of the
+    /// measurement window — the drain phase measures completion, not new
+    /// offered load.
+    fn on_open_arrival(&mut self) {
+        let Some(st) = self.open_loop.as_mut() else { return };
+        st.arrivals += 1;
+        let dup_tx =
+            if st.cfg.duplicate_every > 0 && st.arrivals.is_multiple_of(st.cfg.duplicate_every) {
+                st.last_tx
+            } else {
+                None
+            };
+        let client = ClientId(st.next_client);
+        if dup_tx.is_none() {
+            st.next_client = (st.next_client + 1) % st.cfg.clients.max(1) as u32;
+        }
+        match dup_tx {
+            // Same TxId, resubmitted: admission dedup must drop it.
+            Some(tx) => self.push(self.now + self.request_delay, Ev::Submit { tx }),
+            None => {
+                if self.now >= self.warmup_end && self.now <= self.window_end {
+                    self.stats.offered_txs += 1;
+                }
+                let tx = self.issue_tx(client, self.now);
+                self.open_loop.as_mut().expect("still installed").last_tx = Some(tx);
+            }
+        }
+        let next = self.open_loop.as_mut().expect("still installed").gen.next_arrival();
+        if next <= self.window_end {
+            self.push(next, Ev::OpenArrival);
+        }
     }
 
     /// Run the measured experiment: `warmup` then `window` of measurement,
@@ -413,9 +488,8 @@ impl SimRunner {
                 self.engines[i].on_timer(timer, self.now, &mut out);
                 self.absorb(at, out);
             }
-            Ev::Submit { tx } => {
-                self.mempool.offer(tx);
-            }
+            Ev::Submit { tx } => self.on_submit(tx),
+            Ev::OpenArrival => self.on_open_arrival(),
             Ev::Chaos { kind } => self.on_chaos(kind),
             Ev::RestartDone { replica, inc } => {
                 let i = replica.0 as usize;
@@ -434,10 +508,50 @@ impl SimRunner {
         }
     }
 
+    /// A submission reaches the (shared) mempool — unless admission
+    /// control rejects it. Bounded admission only engages in open-loop
+    /// mode; closed-loop runs keep the historical unbounded pool.
+    fn on_submit(&mut self, tx: Transaction) {
+        let cap = self.open_loop.as_ref().map(|st| st.cfg.mempool_cap).unwrap_or(0);
+        if cap > 0 && self.mempool.len() >= cap {
+            // Backpressure: the pool is full, the submission is refused.
+            // Forget its submit time so a later orphan scan cannot
+            // resurrect a transaction the system never admitted.
+            self.oracle.take_submit(tx.id);
+            if self.now >= self.warmup_end && self.now <= self.window_end {
+                self.stats.admission_drops += 1;
+            }
+            self.obs.with_actor(ORACLE_ACTOR).counter("admission_drops", 0, 1);
+            return;
+        }
+        self.mempool.offer(tx);
+        if self.obs.enabled() {
+            // Queueing gauges, stamped at the harness actor: pool depth
+            // and transactions submitted but not yet finalized.
+            let o = self.obs.with_actor(ORACLE_ACTOR);
+            o.gauge("mempool_depth", 0, self.mempool.len() as u64);
+            o.gauge("inflight_txs", 0, self.oracle.pending() as u64);
+        }
+    }
+
     fn send_one(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
         // Register proposals for orphan tracking and the body archive.
         if let Message::Propose(p) = &msg {
-            self.proposed.entry(p.block.id()).or_insert_with(|| p.block.clone());
+            if let std::collections::hash_map::Entry::Vacant(e) = self.proposed.entry(p.block.id())
+            {
+                e.insert(p.block.clone());
+                if self.obs.enabled() {
+                    // Queue wait (submit → first proposal), in sim-time
+                    // nanoseconds. Histograms are metrics-only (never in
+                    // the trace), and this one is seed-deterministic.
+                    let o = self.obs.with_actor(ORACLE_ACTOR);
+                    for t in &p.block.txs {
+                        if let Some(s) = self.oracle.submit_time(t.id) {
+                            o.observe_nanos("queue_wait_ns", self.now.since(s).0);
+                        }
+                    }
+                }
+            }
             if self.chaos_rt.is_some() {
                 self.bodies.entry(p.block.id()).or_insert_with(|| p.block.clone());
             }
@@ -834,6 +948,7 @@ impl SimRunner {
             }
         }
         self.finalized_ranks.insert(block.id(), Rank::new(block.view, block.slot));
+        let closed_loop = self.open_loop.is_none();
         for tx in &block.txs {
             let submit = self.oracle.take_submit(tx.id);
             if fin >= self.warmup_end && fin <= self.window_end {
@@ -842,9 +957,12 @@ impl SimRunner {
                     self.hist.record(fin.since(s).0);
                 }
             }
-            // Closed loop: the client issues its next transaction.
-            let client = tx.id.client;
-            self.issue_tx(client, fin);
+            // Closed loop: the client issues its next transaction. Open
+            // loop: arrivals are scheduled by the arrival process alone.
+            if closed_loop {
+                let client = tx.id.client;
+                self.issue_tx(client, fin);
+            }
         }
         if self.stats.finalized_txs.is_multiple_of(4096) {
             self.oracle.gc();
@@ -894,6 +1012,14 @@ impl SimRunner {
         self.stats.mean_latency_ms = self.hist.mean_ms();
         self.stats.p50_latency_ms = self.hist.quantile_ms(0.5);
         self.stats.p99_latency_ms = self.hist.quantile_ms(0.99);
+        self.stats.requests_deduped = self.mempool.deduped();
+        if self.stats.requests_deduped > 0 {
+            self.obs.with_actor(ORACLE_ACTOR).counter(
+                "requests_deduped",
+                0,
+                self.stats.requests_deduped,
+            );
+        }
         self.check_invariants();
     }
 
@@ -1036,6 +1162,9 @@ impl SimRunner {
             self.stats.finalized_txs,
             self.stats.committed_blocks,
             self.stats.rollbacks,
+            self.stats.offered_txs,
+            self.stats.admission_drops,
+            self.stats.requests_deduped,
             self.stats.chaos.dropped_msgs,
             self.stats.chaos.duplicated_msgs,
             self.stats.chaos.snapshot_syncs,

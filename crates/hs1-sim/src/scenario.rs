@@ -16,6 +16,7 @@
 use crate::chaos::ChaosPlan;
 use crate::cost::CostModel;
 use crate::net::NetModel;
+use crate::openloop::OpenLoop;
 use crate::regions::{spread, Region};
 use crate::runner::{ChaosRuntime, ChaosStats, SimRunner};
 use crate::statesync::CatchupModel;
@@ -36,6 +37,10 @@ use hs1_workloads::{TpccGen, Workload, YcsbGen};
 pub enum WorkloadKind {
     /// YCSB: 600k-record KV store, zipfian writes (the default).
     Ycsb,
+    /// YCSB with hot-key churn: the zipfian hot set rotates every
+    /// [`Scenario::CHURN_EVERY`] transactions (trending-key traffic, the
+    /// conflict-partitioned executor's worst case).
+    YcsbChurn,
     /// TPC-C: warehouse/order management, NewOrder + Payment mix.
     Tpcc,
 }
@@ -72,6 +77,11 @@ pub struct Scenario {
     /// and the runner (see `hs1-obs`). Pure observer: attaching one must
     /// not change the report's fingerprint. `None` runs with no-op hooks.
     pub observer: Option<Obs>,
+    /// Open-loop client configuration. `Some` replaces the closed-loop
+    /// clients entirely: `clients` is ignored, arrivals follow the
+    /// configured process, and mempool admission control engages (see
+    /// [`crate::openloop`]).
+    pub open_loop: Option<OpenLoop>,
 }
 
 impl Scenario {
@@ -96,7 +106,19 @@ impl Scenario {
             chaos: None,
             catchup_threshold: None,
             observer: None,
+            open_loop: None,
         }
+    }
+
+    /// Hot-set rotation period (transactions) for
+    /// [`WorkloadKind::YcsbChurn`].
+    pub const CHURN_EVERY: u64 = 4_096;
+
+    /// Drive the run with open-loop clients (offered load in tx/s)
+    /// instead of the closed-loop pool.
+    pub fn open_loop(mut self, cfg: OpenLoop) -> Self {
+        self.open_loop = Some(cfg);
+        self
     }
 
     /// The horizon [`ChaosPlan::generate`] should use for this scenario:
@@ -249,7 +271,7 @@ impl Scenario {
         }
 
         let exec = match self.workload {
-            WorkloadKind::Ycsb => ExecConfig {
+            WorkloadKind::Ycsb | WorkloadKind::YcsbChurn => ExecConfig {
                 ycsb_records: YcsbGen::PAPER_RECORDS,
                 tpcc_warehouses: 4,
                 ..ExecConfig::default()
@@ -260,6 +282,9 @@ impl Scenario {
         };
         let workload: Box<dyn Workload> = match self.workload {
             WorkloadKind::Ycsb => Box::new(YcsbGen::paper_default(self.seed)),
+            WorkloadKind::YcsbChurn => {
+                Box::new(YcsbGen::paper_default(self.seed).with_hot_churn(Self::CHURN_EVERY))
+            }
             WorkloadKind::Tpcc => Box::new(TpccGen::paper_default(self.seed)),
         };
 
@@ -411,7 +436,10 @@ impl Scenario {
             runner.install_chaos(plan, chaos_rt);
         }
         runner.note_adversaries(&adversaries);
-        runner.spawn_clients(self.clients);
+        match &self.open_loop {
+            Some(cfg) => runner.spawn_open_loop(cfg.clone()),
+            None => runner.spawn_clients(self.clients),
+        }
         runner.run(
             SimDuration::from_secs_f64(self.warmup_seconds),
             SimDuration::from_secs_f64(self.sim_seconds),
@@ -438,6 +466,9 @@ impl Scenario {
             sim_seconds: self.sim_seconds,
             committed_txs: stats.finalized_txs,
             throughput_tps: stats.finalized_txs as f64 / self.sim_seconds,
+            offered_txs: stats.offered_txs,
+            admission_drops: stats.admission_drops,
+            requests_deduped: stats.requests_deduped,
             mean_latency_ms: stats.mean_latency_ms,
             p50_latency_ms: stats.p50_latency_ms,
             p99_latency_ms: stats.p99_latency_ms,
@@ -515,6 +546,13 @@ pub struct Report {
     /// Transactions finalized by clients inside the measurement window.
     pub committed_txs: u64,
     pub throughput_tps: f64,
+    /// Open-loop transactions offered inside the measurement window
+    /// (zero on closed-loop runs).
+    pub offered_txs: u64,
+    /// Submissions refused by mempool admission control in-window.
+    pub admission_drops: u64,
+    /// Duplicate submissions dropped by admission dedup (whole run).
+    pub requests_deduped: u64,
     pub mean_latency_ms: f64,
     pub p50_latency_ms: f64,
     pub p99_latency_ms: f64,
@@ -542,6 +580,20 @@ pub struct Report {
 impl Report {
     pub fn invariants_ok(&self) -> bool {
         self.invariant_violations.is_empty()
+    }
+
+    /// Offered load measured in-window, tx/s (0 on closed-loop runs).
+    pub fn offered_tps(&self) -> f64 {
+        self.offered_txs as f64 / self.sim_seconds
+    }
+
+    /// Fraction of in-window submissions refused at admission.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered_txs == 0 {
+            0.0
+        } else {
+            self.admission_drops as f64 / self.offered_txs as f64
+        }
     }
 
     /// Hard gate: print any invariant violation to stderr and exit
