@@ -1,7 +1,22 @@
 //! Length-prefixed message framing with an identification handshake.
+//!
+//! Two families of helpers live here:
+//!
+//! * The original blocking helpers ([`write_msg`] / [`read_msg`] /
+//!   [`send_hello`] / [`recv_hello`]) used by the client driver, the
+//!   thread-per-connection backend, and tests.
+//! * The nonblocking building blocks for the reactor backend:
+//!   [`encode_frame`] (encode once, fan out by reference),
+//!   [`FrameQueue`] (a bounded outbound queue that coalesces many
+//!   frames into one `writev`-style [`Write::write_vectored`] call and
+//!   resumes cleanly across partial writes), and [`FrameReader`]
+//!   (incremental reassembly of frames from arbitrarily-split reads,
+//!   with the same hostile-length rejection as [`read_msg`]).
 
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 use hs1_types::codec::{Decode, Encode};
 use hs1_types::Message;
@@ -13,8 +28,8 @@ pub enum PeerKind {
     Client(u32),
 }
 
-/// Write the 5-byte handshake: kind tag + id.
-pub fn send_hello(stream: &mut TcpStream, kind: PeerKind) -> std::io::Result<()> {
+/// The 5-byte handshake for `kind`: tag byte + big-endian id.
+pub fn hello_bytes(kind: PeerKind) -> [u8; 5] {
     let (tag, id) = match kind {
         PeerKind::Replica(id) => (0u8, id),
         PeerKind::Client(id) => (1u8, id),
@@ -22,13 +37,11 @@ pub fn send_hello(stream: &mut TcpStream, kind: PeerKind) -> std::io::Result<()>
     let mut buf = [0u8; 5];
     buf[0] = tag;
     buf[1..5].copy_from_slice(&id.to_be_bytes());
-    stream.write_all(&buf)
+    buf
 }
 
-/// Read the handshake.
-pub fn recv_hello(stream: &mut TcpStream) -> std::io::Result<PeerKind> {
-    let mut buf = [0u8; 5];
-    stream.read_exact(&mut buf)?;
+/// Decode the 5-byte handshake.
+pub fn parse_hello(buf: &[u8; 5]) -> std::io::Result<PeerKind> {
     let id = u32::from_be_bytes(buf[1..5].try_into().expect("4 bytes"));
     match buf[0] {
         0 => Ok(PeerKind::Replica(id)),
@@ -37,6 +50,18 @@ pub fn recv_hello(stream: &mut TcpStream) -> std::io::Result<PeerKind> {
             Err(std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad hello tag {t}")))
         }
     }
+}
+
+/// Write the 5-byte handshake: kind tag + id.
+pub fn send_hello(stream: &mut TcpStream, kind: PeerKind) -> std::io::Result<()> {
+    stream.write_all(&hello_bytes(kind))
+}
+
+/// Read the handshake.
+pub fn recv_hello(stream: &mut TcpStream) -> std::io::Result<PeerKind> {
+    let mut buf = [0u8; 5];
+    stream.read_exact(&mut buf)?;
+    parse_hello(&buf)
 }
 
 /// Write one framed message: u32 length prefix + encoded body.
@@ -65,6 +90,268 @@ pub fn read_msg(stream: &mut TcpStream) -> std::io::Result<Message> {
     stream.read_exact(&mut body)?;
     Message::decode_exact(&body)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A wire frame: length prefix + encoded body, behind an `Arc` so a
+/// broadcast encodes once and every per-peer queue shares the bytes.
+pub type Frame = Arc<[u8]>;
+
+/// Encode `msg` into one shareable frame.
+pub fn encode_frame(msg: &Message) -> Frame {
+    let body = msg.encoded();
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&body);
+    frame.into()
+}
+
+/// Most frames handed to one `write_vectored` call. 64 small consensus
+/// messages per syscall is the coalescing win; more slices buy little
+/// and cost stack.
+const WRITEV_BATCH: usize = 64;
+
+/// Outcome of one [`FrameQueue::write_to`] attempt.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WriteProgress {
+    /// Bytes accepted by the sink.
+    pub bytes: u64,
+    /// Frames fully flushed (a partially-written head is not counted).
+    pub frames: u64,
+    /// `write_vectored` calls issued (syscalls on a real socket).
+    pub calls: u64,
+    /// The sink reported `WouldBlock` (the queue may still be nonempty).
+    pub would_block: bool,
+}
+
+/// Bounded per-peer outbound queue with writev coalescing.
+///
+/// Frames are flushed strictly in order; a partial write leaves a byte
+/// offset into the head frame and the next attempt resumes there, so
+/// frame boundaries survive arbitrary split points. Backpressure is
+/// explicit: [`FrameQueue::enforce_caps`] sheds **oldest-first** (the
+/// engines tolerate loss of stale consensus messages far better than
+/// blocking the proposer), never touching a head frame whose prefix is
+/// already on the wire — shedding that one would desynchronize the
+/// peer's framing.
+#[derive(Default)]
+pub struct FrameQueue {
+    frames: VecDeque<Frame>,
+    /// Bytes of `frames[0]` already written to the sink.
+    head_offset: usize,
+    /// Total unsent bytes across all queued frames (minus `head_offset`).
+    bytes: usize,
+}
+
+impl FrameQueue {
+    pub fn new() -> FrameQueue {
+        FrameQueue::default()
+    }
+
+    pub fn push(&mut self, frame: Frame) {
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Queued frames (including a partially-written head).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Unsent bytes still queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Shed oldest frames until the queue is within `max_frames` /
+    /// `max_bytes`. Returns the number of frames shed. The in-flight
+    /// head frame (offset > 0) and the newest frame are never shed: the
+    /// head must finish for framing integrity, and shedding the frame
+    /// that was just pushed would turn the queue into a black hole.
+    pub fn enforce_caps(&mut self, max_frames: usize, max_bytes: usize) -> u64 {
+        let mut shed = 0u64;
+        while (self.frames.len() > max_frames || self.bytes > max_bytes) && self.frames.len() > 1 {
+            let idx = usize::from(self.head_offset > 0);
+            if idx + 1 >= self.frames.len() {
+                break; // only the in-flight head and the newest remain
+            }
+            let dropped = self.frames.remove(idx).expect("index checked");
+            self.bytes -= dropped.len();
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Drop a partially-written head frame (connection died mid-frame;
+    /// resending its prefix on a fresh connection would corrupt the
+    /// peer's framing, and the tail alone is not a valid frame).
+    /// Returns true if a frame was abandoned.
+    pub fn abandon_partial(&mut self) -> bool {
+        if self.head_offset == 0 {
+            return false;
+        }
+        let head = self.frames.pop_front().expect("offset implies a head");
+        self.bytes -= head.len() - self.head_offset;
+        self.head_offset = 0;
+        true
+    }
+
+    /// Drop everything (mesh shutdown).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.head_offset = 0;
+        self.bytes = 0;
+    }
+
+    /// Flush as much as the sink accepts, coalescing up to
+    /// `WRITEV_BATCH` (64) frames per `write_vectored` call. Stops on
+    /// `WouldBlock` (reported in the progress, not as an error) or when
+    /// the queue drains; `Interrupted` is retried.
+    pub fn write_to(&mut self, sink: &mut impl Write) -> std::io::Result<WriteProgress> {
+        let mut progress = WriteProgress::default();
+        while !self.frames.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.frames.len().min(WRITEV_BATCH));
+            for (i, frame) in self.frames.iter().take(WRITEV_BATCH).enumerate() {
+                let start = if i == 0 { self.head_offset } else { 0 };
+                slices.push(IoSlice::new(&frame[start..]));
+            }
+            let written = match sink.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "sink accepted zero bytes",
+                    ));
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    progress.would_block = true;
+                    return Ok(progress);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            progress.calls += 1;
+            progress.bytes += written as u64;
+            self.bytes -= written;
+            let mut remaining = written;
+            while remaining > 0 {
+                let head_left = self.frames[0].len() - self.head_offset;
+                if remaining >= head_left {
+                    remaining -= head_left;
+                    self.frames.pop_front();
+                    self.head_offset = 0;
+                    progress.frames += 1;
+                } else {
+                    self.head_offset += remaining;
+                    remaining = 0;
+                }
+            }
+        }
+        Ok(progress)
+    }
+}
+
+/// Bytes drained from the socket per [`FrameReader::read_from`] call
+/// before yielding back to the event loop (keeps one firehose peer from
+/// starving the rest of the poll set).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Incremental frame reassembly for nonblocking reads.
+///
+/// Feed it whatever the socket yields — single bytes, half a length
+/// prefix, ten frames at once — and take complete messages out. Frame
+/// boundaries are reconstructed exactly; a length prefix above the
+/// `MAX_FRAME` limit (64 MiB) is rejected as `InvalidData` before any body
+/// bytes are buffered (hostile-length defense, identical to
+/// [`read_msg`]).
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Read position of the parsed prefix of `buf` (compacted lazily).
+    pos: usize,
+}
+
+/// One socket drain's outcome.
+#[derive(Debug, Default)]
+pub struct ReadOutcome {
+    pub messages: Vec<Message>,
+    pub bytes: u64,
+    /// `read` calls issued.
+    pub calls: u64,
+    /// The peer closed the connection cleanly.
+    pub eof: bool,
+}
+
+impl FrameReader {
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Buffer `bytes` and extract every complete frame.
+    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<Message>) -> std::io::Result<()> {
+        self.buf.extend_from_slice(bytes);
+        self.extract(out)
+    }
+
+    fn extract(&mut self, out: &mut Vec<Message>) -> std::io::Result<()> {
+        loop {
+            let avail = self.buf.len() - self.pos;
+            if avail < 4 {
+                break;
+            }
+            let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes");
+            let len = u32::from_be_bytes(len_bytes);
+            if len > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame of {len} bytes exceeds limit"),
+                ));
+            }
+            let total = 4 + len as usize;
+            if avail < total {
+                break;
+            }
+            let body = &self.buf[self.pos + 4..self.pos + total];
+            let msg = Message::decode_exact(body)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.push(msg);
+            self.pos += total;
+        }
+        // Compact once the parsed prefix dominates the buffer.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Drain the (nonblocking) stream until `WouldBlock`, EOF, or the
+    /// per-call read budget is spent, decoding every complete frame.
+    pub fn read_from(&mut self, stream: &mut impl Read) -> std::io::Result<ReadOutcome> {
+        let mut outcome = ReadOutcome::default();
+        let mut chunk = [0u8; 16 * 1024];
+        while (outcome.bytes as usize) < READ_BUDGET {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    outcome.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    outcome.calls += 1;
+                    outcome.bytes += n as u64;
+                    self.push_bytes(&chunk[..n], &mut outcome.messages)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(outcome)
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +390,264 @@ mod tests {
         let mut out = TcpStream::connect(addr).unwrap();
         out.write_all(&u32::MAX.to_be_bytes()).unwrap();
         assert!(handle.join().unwrap().is_err());
+    }
+
+    /// A sink that accepts at most `cap` bytes per write call — drives
+    /// every partial-write resumption path in [`FrameQueue`].
+    struct Chokepoint {
+        accepted: Vec<u8>,
+        cap: usize,
+        calls: u64,
+    }
+
+    impl Chokepoint {
+        fn new(cap: usize) -> Chokepoint {
+            Chokepoint { accepted: Vec::new(), cap, calls: 0 }
+        }
+    }
+
+    impl Write for Chokepoint {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let n = buf.len().min(self.cap);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let mut budget = self.cap;
+            let mut written = 0;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.accepted.extend_from_slice(&b[..n]);
+                written += n;
+                budget -= n;
+            }
+            Ok(written)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn test_messages(n: usize) -> Vec<Message> {
+        (0..n)
+            .map(|i| Message::Request(Transaction::kv_write(i as u32, i as u64, i as u64 * 7, 1)))
+            .collect()
+    }
+
+    /// Decode a byte stream that must contain exactly `want` frames in
+    /// order.
+    fn decode_stream(bytes: &[u8], want: &[Message]) {
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        reader.push_bytes(bytes, &mut got).expect("clean stream");
+        assert_eq!(got, want, "frame boundaries preserved");
+    }
+
+    #[test]
+    fn frame_queue_coalesces_into_one_vectored_call() {
+        let msgs = test_messages(10);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        let mut sink = Chokepoint::new(usize::MAX);
+        let progress = q.write_to(&mut sink).unwrap();
+        assert_eq!(progress.calls, 1, "ten frames, one writev");
+        assert_eq!(progress.frames, 10);
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+        decode_stream(&sink.accepted, &msgs);
+    }
+
+    #[test]
+    fn frame_boundaries_survive_every_split_point() {
+        // Write the same 7 frames through sinks that accept 1, 2, 3, 5,
+        // 13, ... bytes per call: every possible split point inside a
+        // length prefix and inside a body is exercised.
+        let msgs = test_messages(7);
+        for cap in [1usize, 2, 3, 5, 13, 31, 64, 127, 1000] {
+            let mut q = FrameQueue::new();
+            for m in &msgs {
+                q.push(encode_frame(m));
+            }
+            let total: usize = q.bytes();
+            let mut sink = Chokepoint::new(cap);
+            let progress = q.write_to(&mut sink).unwrap();
+            assert!(q.is_empty(), "cap {cap}: queue drained");
+            assert_eq!(progress.bytes as usize, total, "cap {cap}: all bytes written");
+            assert_eq!(progress.frames, 7, "cap {cap}");
+            decode_stream(&sink.accepted, &msgs);
+        }
+    }
+
+    /// A sink that accepts `cap` bytes then reports `WouldBlock`,
+    /// modeling a full kernel send buffer.
+    struct Saturating {
+        inner: Chokepoint,
+        budget: usize,
+    }
+
+    impl Write for Saturating {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            if self.budget == 0 {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"));
+            }
+            self.inner.cap = self.budget;
+            let n = self.inner.write_vectored(bufs)?;
+            self.budget -= n;
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_write_resumes_mid_frame_across_attempts() {
+        let msgs = test_messages(4);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        let frame_len = encode_frame(&msgs[0]).len();
+        // First attempt: the sink takes one and a half frames then blocks.
+        let mut sink = Saturating { inner: Chokepoint::new(0), budget: frame_len + frame_len / 2 };
+        let p1 = q.write_to(&mut sink).unwrap();
+        assert!(p1.would_block);
+        assert_eq!(p1.frames, 1, "one frame fully flushed");
+        assert!(!q.is_empty());
+        // Second attempt on a reopened sink budget: everything drains and
+        // the byte stream still parses as exactly the original frames.
+        sink.budget = usize::MAX;
+        let p2 = q.write_to(&mut sink).unwrap();
+        assert!(!p2.would_block);
+        assert_eq!(p1.frames + p2.frames, 4);
+        decode_stream(&sink.inner.accepted, &msgs);
+    }
+
+    #[test]
+    fn shed_oldest_first_never_the_inflight_head() {
+        let msgs = test_messages(6);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        // Start writing frame 0 so its prefix is "on the wire".
+        let mut sink = Saturating { inner: Chokepoint::new(0), budget: 2 };
+        let p = q.write_to(&mut sink).unwrap();
+        assert!(p.would_block && p.frames == 0);
+        // Cap of 3 frames: sheds must take the oldest *unsent* frames
+        // (1, 2, 3), keeping the in-flight head and the newest.
+        let shed = q.enforce_caps(3, usize::MAX);
+        assert_eq!(shed, 3);
+        assert_eq!(q.len(), 3);
+        sink.budget = usize::MAX;
+        q.write_to(&mut sink).unwrap();
+        decode_stream(&sink.inner.accepted, &[msgs[0].clone(), msgs[4].clone(), msgs[5].clone()]);
+    }
+
+    #[test]
+    fn byte_cap_sheds_and_newest_survives() {
+        let msgs = test_messages(5);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        let shed = q.enforce_caps(usize::MAX, 1);
+        // Caps below a single frame still keep the newest frame: a
+        // queue must never become a black hole.
+        assert_eq!(shed, 4);
+        assert_eq!(q.len(), 1);
+        let mut sink = Chokepoint::new(usize::MAX);
+        q.write_to(&mut sink).unwrap();
+        decode_stream(&sink.accepted, &msgs[4..]);
+    }
+
+    #[test]
+    fn abandon_partial_resynchronizes_after_disconnect() {
+        let msgs = test_messages(3);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        let mut sink = Saturating { inner: Chokepoint::new(0), budget: 3 };
+        q.write_to(&mut sink).unwrap();
+        // Connection died with 3 bytes of frame 0 sent. A fresh
+        // connection must never see the rest of frame 0.
+        assert!(q.abandon_partial());
+        assert!(!q.abandon_partial(), "idempotent");
+        let mut fresh = Chokepoint::new(usize::MAX);
+        q.write_to(&mut fresh).unwrap();
+        decode_stream(&fresh.accepted, &msgs[1..]);
+    }
+
+    #[test]
+    fn frame_reader_rejects_hostile_length() {
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        // A 4 GiB length prefix must be rejected from the prefix alone.
+        let err = reader.push_bytes(&u32::MAX.to_be_bytes(), &mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_byte_at_a_time() {
+        let msgs = test_messages(3);
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            reader.push_bytes(std::slice::from_ref(b), &mut out).unwrap();
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn frame_queue_then_reader_roundtrip_over_socket() {
+        // End to end over a real nonblocking socket pair: the writev
+        // side and the reassembly side agree on every boundary.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let msgs = test_messages(40);
+        let mut q = FrameQueue::new();
+        for m in &msgs {
+            q.push(encode_frame(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut tx = tx;
+        let mut rx = rx;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < msgs.len() {
+            assert!(std::time::Instant::now() < deadline, "socket roundtrip stalled");
+            let _ = q.write_to(&mut tx).unwrap();
+            let outcome = reader.read_from(&mut rx).unwrap();
+            got.extend(outcome.messages);
+            if q.is_empty() && outcome.bytes == 0 {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(got, msgs);
     }
 }

@@ -1,10 +1,20 @@
 //! Real TCP transport: run the same engines multi-process on a LAN or
 //! localhost.
 //!
-//! * [`framing`] — length-prefixed frames over `std::net::TcpStream` with
-//!   a small identification handshake.
-//! * [`mesh`] — the peer mesh: one writer thread per peer, reader threads
-//!   feeding a single inbox channel.
+//! * [`framing`] — length-prefixed frames with an identification
+//!   handshake: blocking helpers for the client driver plus the
+//!   nonblocking building blocks ([`framing::FrameQueue`] writev
+//!   coalescing, [`framing::FrameReader`] incremental reassembly) used
+//!   by the reactor.
+//! * [`mesh`] — the peer mesh behind one stable API with two backends:
+//!   the default readiness-driven reactor (nonblocking sockets +
+//!   `poll(2)`, bounded per-peer queues that shed oldest-first under
+//!   backpressure, jittered-exponential reconnect) and the original
+//!   thread-per-connection baseline (`HS1_NET_BACKEND=threads`), kept
+//!   for A/B measurement by `net_loadgen`.
+//! * [`poll`] — the minimal std-only `poll(2)` wrapper and cross-thread
+//!   waker the reactor runs on (unix; other hosts use the threaded
+//!   backend).
 //! * [`node`] — [`node::NodeRunner`]: hosts a [`hs1_core::Replica`] behind
 //!   the mesh, maps wall-clock time onto the engine's virtual clock, fires
 //!   timers, and fans `Executed` actions out as per-transaction
@@ -17,16 +27,21 @@
 //!   joining consensus (see `examples/state_sync.rs`).
 //! * [`client_driver`] — a closed-loop client: broadcasts requests to all
 //!   replicas and applies the paper's finality rules via
-//!   [`hs1_core::client::FinalityTracker`].
+//!   [`hs1_core::client::FinalityTracker`]; reconnects with backoff when
+//!   a replica restarts mid-session.
 //!
 //! Binaries `hs1-replica` and `hs1-client` (see `src/bin/`) wire these
-//! into runnable processes; `examples/local_cluster_tcp.rs` runs a full
-//! deployment inside one process.
+//! into runnable processes; `net_loadgen` A/B-measures the two mesh
+//! backends on a localhost cluster; `examples/local_cluster_tcp.rs`
+//! runs a full deployment inside one process.
 
 pub mod client_driver;
 pub mod framing;
 pub mod mesh;
 pub mod node;
+pub mod poll;
+mod reactor;
+mod threaded;
 
 /// Default base port; replica `i` listens on `base + i`.
 pub const DEFAULT_BASE_PORT: u16 = 42000;

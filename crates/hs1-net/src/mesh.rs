@@ -1,19 +1,38 @@
-//! The peer mesh: maintains connections between replicas and to clients,
-//! with one writer thread per peer and reader threads feeding a shared
-//! inbox.
+//! The peer mesh: maintains connections between replicas and to
+//! clients behind one small API (`send_replica` / `broadcast` /
+//! `send_client` / `inbox`), with two interchangeable transport
+//! backends:
+//!
+//! * [`Backend::Reactor`] (default on unix) — a readiness-driven event
+//!   loop: one reactor thread per mesh owns every socket nonblocking,
+//!   drains per-peer bounded [`crate::framing::FrameQueue`]s with writev coalescing,
+//!   sheds oldest-first under backpressure, and redials dead peers with
+//!   jittered exponential backoff (the private `reactor` module).
+//! * [`Backend::Threads`] — the original thread-per-connection
+//!   implementation (one writer thread per peer, blocking writes,
+//!   unbounded channels). Kept as the measured baseline for
+//!   `net_loadgen`'s A/B floor and as the non-unix fallback.
+//!
+//! Sending never blocks the caller on the network in either backend:
+//! the reactor enqueues into a bounded queue (shedding the oldest
+//! frames of a slow peer instead of waiting), the threaded backend
+//! enqueues into an unbounded channel (the old behavior — memory is
+//! its backpressure policy, which is exactly why it is no longer the
+//! default).
 
 use std::collections::HashMap;
-use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
-
-use crate::framing::{self, PeerKind};
+use crate::framing::encode_frame;
+use crate::threaded;
+use hs1_obs::Obs;
 use hs1_types::{ClientId, Message, ReplicaId};
+
+#[cfg(unix)]
+use crate::reactor;
 
 /// Inbound event delivered to the node loop.
 pub enum Inbound {
@@ -21,90 +40,194 @@ pub enum Inbound {
     FromClient(ClientId, Message),
 }
 
-/// Outbound handle to one peer: a channel drained by its writer thread.
-#[derive(Clone)]
-struct Outbound(Sender<Message>);
-
-/// Live streams keyed by a registration token. Reader/writer threads
-/// deregister their stream when they exit, so the registry holds only
-/// live connections (no fd leak on reconnecting peers) while still
-/// letting [`Mesh::shutdown`] sever everything at once.
-type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
-
-fn register_stream(registry: &StreamRegistry, seq: &AtomicU64, s: &TcpStream) -> Option<u64> {
-    let clone = s.try_clone().ok()?;
-    let token = seq.fetch_add(1, Ordering::Relaxed);
-    registry.lock().unwrap().insert(token, clone);
-    Some(token)
+/// Which transport implementation a mesh runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Readiness-driven event loop (nonblocking sockets + `poll(2)`,
+    /// writev coalescing, bounded queues, reconnect). Unix only; on
+    /// other hosts it silently falls back to [`Backend::Threads`].
+    Reactor,
+    /// Thread-per-connection blocking I/O (the pre-reactor transport).
+    Threads,
 }
 
-fn deregister_stream(registry: &StreamRegistry, token: Option<u64>) {
-    if let Some(t) = token {
-        registry.lock().unwrap().remove(&t);
+impl Backend {
+    /// `HS1_NET_BACKEND=threads|reactor` overrides the default
+    /// (reactor on unix, threads elsewhere).
+    fn from_env() -> Backend {
+        match std::env::var("HS1_NET_BACKEND").as_deref() {
+            Ok("threads") | Ok("threaded") => Backend::Threads,
+            Ok("reactor") => Backend::Reactor,
+            _ => {
+                if cfg!(unix) {
+                    Backend::Reactor
+                } else {
+                    Backend::Threads
+                }
+            }
+        }
     }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Reactor => "reactor",
+            Backend::Threads => "threads",
+        }
+    }
+}
+
+/// Transport tuning. [`MeshConfig::default`] is what every production
+/// entry point ([`Mesh::start`]) uses; tests shrink the queue caps and
+/// send buffer to make backpressure observable quickly.
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    pub backend: Backend,
+    /// Per-peer outbound queue cap in frames; beyond it the oldest
+    /// unsent frames are shed (reactor backend only).
+    pub queue_frames: usize,
+    /// Per-peer outbound queue cap in bytes.
+    pub queue_bytes: usize,
+    /// First reconnect delay after a peer connection dies; doubles per
+    /// failed attempt (with ±50% jitter) up to `reconnect_max`.
+    pub reconnect_base: Duration,
+    pub reconnect_max: Duration,
+    /// Bound on one dial attempt (loopback dials resolve instantly;
+    /// this caps the reactor stall a blackholed peer could cause).
+    pub connect_timeout: Duration,
+    /// Listen on this port instead of `base_port + me` (lets tests
+    /// interpose a proxy at the advertised port).
+    pub listen_port: Option<u16>,
+    /// Shrink `SO_SNDBUF` on dialed peer connections so kernel-buffer
+    /// backpressure reaches the bounded queues quickly (tests only;
+    /// `None` keeps the OS default).
+    pub send_buffer: Option<usize>,
+    /// How often the reactor publishes queue gauges / counter deltas to
+    /// the attached observer.
+    pub metrics_interval: Duration,
+}
+
+impl Default for MeshConfig {
+    fn default() -> MeshConfig {
+        MeshConfig {
+            backend: Backend::from_env(),
+            queue_frames: 8192,
+            queue_bytes: 16 << 20,
+            reconnect_base: Duration::from_millis(50),
+            reconnect_max: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(250),
+            listen_port: None,
+            send_buffer: None,
+            metrics_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Transport counters, shared across the send paths and the reactor /
+/// writer threads. Exposed raw for harnesses ([`Mesh::stats`]) and
+/// mirrored into `hs1-obs` counters by the reactor's metrics tick.
+#[derive(Default)]
+pub struct NetStats {
+    /// Frames fully handed to the kernel.
+    pub tx_frames: AtomicU64,
+    pub tx_bytes: AtomicU64,
+    /// Write syscalls issued (`writev` for the reactor — the coalescing
+    /// ratio is `tx_frames / write_calls`).
+    pub write_calls: AtomicU64,
+    pub rx_frames: AtomicU64,
+    pub rx_bytes: AtomicU64,
+    pub read_calls: AtomicU64,
+    /// Frames shed oldest-first by the bounded-queue backpressure
+    /// policy (slow or disconnected peers).
+    pub frames_shed: AtomicU64,
+    /// Successful re-dials of a peer that had been connected before.
+    pub reconnects: AtomicU64,
+}
+
+/// Point-in-time copy of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStatsSnapshot {
+    pub tx_frames: u64,
+    pub tx_bytes: u64,
+    pub write_calls: u64,
+    pub rx_frames: u64,
+    pub rx_bytes: u64,
+    pub read_calls: u64,
+    pub frames_shed: u64,
+    pub reconnects: u64,
+}
+
+impl NetStats {
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+            write_calls: self.write_calls.load(Ordering::Relaxed),
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            rx_bytes: self.rx_bytes.load(Ordering::Relaxed),
+            read_calls: self.read_calls.load(Ordering::Relaxed),
+            frames_shed: self.frames_shed.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Reactor {
+        shared: Arc<reactor::Shared>,
+        thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    },
+    Threads(threaded::Threaded),
 }
 
 /// The mesh of a single replica process.
 pub struct Mesh {
     me: ReplicaId,
     n: usize,
-    base_port: u16,
-    host: String,
-    replicas: Arc<Mutex<HashMap<u32, Outbound>>>,
-    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
-    /// Every live stream (accepted and dialed) so [`Mesh::shutdown`] can
-    /// sever them and a restarted node can rebind the port.
-    streams: StreamRegistry,
-    stream_seq: Arc<AtomicU64>,
-    shutting_down: Arc<AtomicBool>,
+    inner: Inner,
+    stats: Arc<NetStats>,
+    down: AtomicBool,
     pub inbox: Receiver<Inbound>,
     inbox_tx: Sender<Inbound>,
 }
 
 impl Mesh {
-    /// Bind the listener for `me` and start accepting.
+    /// Bind the listener for `me` and start the default transport.
     pub fn start(me: ReplicaId, n: usize, host: &str, base_port: u16) -> std::io::Result<Mesh> {
+        Mesh::start_with(me, n, host, base_port, MeshConfig::default())
+    }
+
+    /// Bind and start with explicit transport tuning.
+    pub fn start_with(
+        me: ReplicaId,
+        n: usize,
+        host: &str,
+        base_port: u16,
+        cfg: MeshConfig,
+    ) -> std::io::Result<Mesh> {
         let (inbox_tx, inbox) = channel();
-        let mesh = Mesh {
-            me,
-            n,
-            base_port,
-            host: host.to_string(),
-            replicas: Arc::new(Mutex::new(HashMap::new())),
-            clients: Arc::new(Mutex::new(HashMap::new())),
-            streams: Arc::new(Mutex::new(HashMap::new())),
-            stream_seq: Arc::new(AtomicU64::new(0)),
-            shutting_down: Arc::new(AtomicBool::new(false)),
-            inbox,
-            inbox_tx,
-        };
-        let listener = TcpListener::bind((host, base_port + me.0 as u16))?;
-        let inbox_tx = mesh.inbox_tx.clone();
-        let clients = mesh.clients.clone();
-        let streams = mesh.streams.clone();
-        let stream_seq = mesh.stream_seq.clone();
-        let shutting_down = mesh.shutting_down.clone();
-        thread::Builder::new().name(format!("accept-{}", me.0)).spawn(move || {
-            for stream in listener.incoming() {
-                if shutting_down.load(Ordering::SeqCst) {
-                    break; // drops the listener: the port is free again
-                }
-                let Ok(stream) = stream else { continue };
-                let token = register_stream(&streams, &stream_seq, &stream);
-                let res = handle_incoming(
-                    stream,
-                    token,
-                    inbox_tx.clone(),
-                    clients.clone(),
-                    streams.clone(),
-                );
-                if res.is_err() {
-                    // No reader thread took ownership (handshake failed).
-                    deregister_stream(&streams, token);
-                }
+        let stats = Arc::new(NetStats::default());
+        let backend = if cfg!(unix) { cfg.backend } else { Backend::Threads };
+        let inner = match backend {
+            #[cfg(unix)]
+            Backend::Reactor => {
+                let (shared, thread) =
+                    reactor::start(me, n, host, base_port, cfg, stats.clone(), inbox_tx.clone())?;
+                Inner::Reactor { shared, thread: Mutex::new(Some(thread)) }
             }
-        })?;
-        Ok(mesh)
+            #[cfg(not(unix))]
+            Backend::Reactor => unreachable!("non-unix backend forced to Threads above"),
+            Backend::Threads => Inner::Threads(threaded::Threaded::start(
+                me,
+                n,
+                host,
+                base_port,
+                &cfg,
+                stats.clone(),
+                inbox_tx.clone(),
+            )?),
+        };
+        Ok(Mesh { me, n, inner, stats, down: AtomicBool::new(false), inbox, inbox_tx })
     }
 
     /// Deployment size this mesh was built for.
@@ -112,135 +235,129 @@ impl Mesh {
         self.n
     }
 
-    /// Tear the mesh down: sever every live stream (peers' writers fail
-    /// and lazily reconnect later) and unblock the accept loop so the
-    /// listener — and its port — are released. After this the node can be
-    /// "restarted" in-process by building a fresh [`Mesh`] on the same
-    /// port, which is how the crash-recovery example kills a node.
-    pub fn shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
-        for (_, s) in self.streams.lock().unwrap().drain() {
-            let _ = s.shutdown(Shutdown::Both);
+    /// Which backend this mesh is running.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { .. } => Backend::Reactor,
+            Inner::Threads(_) => Backend::Threads,
         }
-        self.replicas.lock().unwrap().clear();
-        self.clients.lock().unwrap().clear();
-        // Wake the accept loop so it observes the flag.
-        let _ = TcpStream::connect((self.host.as_str(), self.base_port + self.me.0 as u16));
     }
 
-    /// Send to a replica, connecting lazily (drops on failure — the
-    /// engines tolerate message loss via timeouts).
+    /// Transport counters (live; see [`NetStats`]).
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Frames shed by the backpressure policy so far.
+    pub fn shed_frames(&self) -> u64 {
+        self.stats.frames_shed.load(Ordering::Relaxed)
+    }
+
+    /// Attach an observability sink: the reactor publishes per-peer
+    /// queue gauges, transport counters, and the send-stall histogram
+    /// through it (the threaded baseline ignores it — it predates the
+    /// metrics layer and exists only for A/B comparison).
+    pub fn set_observer(&self, obs: Obs) {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, .. } => shared.set_observer(obs),
+            Inner::Threads(_) => {}
+        }
+    }
+
+    /// Tear the mesh down: sever every live connection and release the
+    /// listen port. Idempotent. After this the node can be "restarted"
+    /// in-process by building a fresh [`Mesh`] on the same port, which
+    /// is how the crash-recovery example kills a node; the reactor
+    /// thread is joined so the port is genuinely free on return.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, thread } => {
+                shared.request_shutdown();
+                if let Some(handle) = thread.lock().expect("reactor handle").take() {
+                    let _ = handle.join();
+                }
+            }
+            Inner::Threads(t) => t.shutdown(),
+        }
+    }
+
+    /// Send to a replica. Never blocks on the network: the reactor
+    /// enqueues (shedding oldest frames past the per-peer cap), the
+    /// threaded backend hands off to the peer's writer thread.
+    /// Connections are established lazily and — reactor only — redialed
+    /// automatically with backoff after failures.
     pub fn send_replica(&self, to: ReplicaId, msg: Message) {
         if to == self.me {
             let _ = self.inbox_tx.send(Inbound::FromReplica(self.me, msg));
             return;
         }
-        let mut peers = self.replicas.lock().unwrap();
-        if let std::collections::hash_map::Entry::Vacant(e) = peers.entry(to.0) {
-            if let Some(out) = self.connect(to) {
-                e.insert(out);
-            } else {
-                return;
-            }
-        }
-        if let Some(out) = peers.get(&to.0) {
-            if out.0.send(msg).is_err() {
-                peers.remove(&to.0);
-            }
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, .. } => shared.enqueue_replica(to.0, encode_frame(&msg)),
+            Inner::Threads(t) => t.send_replica(to, msg),
         }
     }
 
     pub fn broadcast(&self, msg: Message) {
-        for r in 0..self.n {
-            self.send_replica(ReplicaId(r as u32), msg.clone());
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, .. } => {
+                // Encode once; every peer queue shares the same frame.
+                let frame = encode_frame(&msg);
+                for r in 0..self.n as u32 {
+                    if r != self.me.0 {
+                        shared.enqueue_replica(r, frame.clone());
+                    }
+                }
+                let _ = self.inbox_tx.send(Inbound::FromReplica(self.me, msg));
+            }
+            Inner::Threads(_) => {
+                for r in 0..self.n {
+                    self.send_replica(ReplicaId(r as u32), msg.clone());
+                }
+            }
         }
     }
 
     /// Send a response to a connected client (no-op if unknown).
     pub fn send_client(&self, to: ClientId, msg: Message) {
-        let clients = self.clients.lock().unwrap();
-        if let Some(out) = clients.get(&to.0) {
-            let _ = out.0.send(msg);
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, .. } => shared.enqueue_client(to.0, encode_frame(&msg)),
+            Inner::Threads(t) => t.send_client(to, msg),
         }
-    }
-
-    fn connect(&self, to: ReplicaId) -> Option<Outbound> {
-        let addr = (self.host.as_str(), self.base_port + to.0 as u16);
-        let mut stream = TcpStream::connect_timeout(
-            &std::net::ToSocketAddrs::to_socket_addrs(&addr).ok()?.next()?,
-            Duration::from_millis(500),
-        )
-        .ok()?;
-        stream.set_nodelay(true).ok()?;
-        framing::send_hello(&mut stream, PeerKind::Replica(self.me.0)).ok()?;
-        let token = register_stream(&self.streams, &self.stream_seq, &stream);
-        // Reader for the reverse direction of this stream is handled by
-        // the remote's accept loop; here we only write.
-        Some(spawn_writer(
-            stream,
-            &format!("w-{}-{}", self.me.0, to.0),
-            Some((self.streams.clone(), token)),
-        ))
     }
 }
 
-fn spawn_writer(
-    mut stream: TcpStream,
-    name: &str,
-    registration: Option<(StreamRegistry, Option<u64>)>,
-) -> Outbound {
-    let (tx, rx) = channel::<Message>();
-    let _ = thread::Builder::new().name(name.to_string()).spawn(move || {
-        while let Ok(msg) = rx.recv() {
-            if framing::write_msg(&mut stream, &msg).is_err() {
-                break;
-            }
-        }
-        if let Some((registry, token)) = registration {
-            deregister_stream(&registry, token);
-        }
-    });
-    Outbound(tx)
+impl Drop for Mesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
 }
 
-fn handle_incoming(
-    mut stream: TcpStream,
-    token: Option<u64>,
-    inbox: Sender<Inbound>,
-    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
-    streams: StreamRegistry,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    let hello = framing::recv_hello(&mut stream)?;
-    match hello {
-        PeerKind::Replica(id) => {
-            thread::Builder::new().name(format!("r-replica-{id}")).spawn(move || {
-                while let Ok(msg) = framing::read_msg(&mut stream) {
-                    if inbox.send(Inbound::FromReplica(ReplicaId(id), msg)).is_err() {
-                        break;
-                    }
-                }
-                deregister_stream(&streams, token);
-            })?;
-        }
-        PeerKind::Client(id) => {
-            // Register the write half so responses can reach the client
-            // (the reader thread owns the registry token; the writer half
-            // shares the same underlying socket).
-            let write_half = stream.try_clone()?;
-            clients
-                .lock()
-                .unwrap()
-                .insert(id, spawn_writer(write_half, &format!("w-client-{id}"), None));
-            thread::Builder::new().name(format!("r-client-{id}")).spawn(move || {
-                while let Ok(msg) = framing::read_msg(&mut stream) {
-                    if inbox.send(Inbound::FromClient(ClientId(id), msg)).is_err() {
-                        break;
-                    }
-                }
-                deregister_stream(&streams, token);
-            })?;
-        }
+/// Shared helper: register a live stream for shutdown-severing
+/// (threaded backend bookkeeping, re-exported for `threaded.rs`).
+pub(crate) type StreamRegistry = Arc<Mutex<HashMap<u64, std::net::TcpStream>>>;
+
+pub(crate) fn register_stream(
+    registry: &StreamRegistry,
+    seq: &AtomicU64,
+    s: &std::net::TcpStream,
+) -> Option<u64> {
+    let clone = s.try_clone().ok()?;
+    let token = seq.fetch_add(1, Ordering::Relaxed);
+    registry.lock().unwrap().insert(token, clone);
+    Some(token)
+}
+
+pub(crate) fn deregister_stream(registry: &StreamRegistry, token: Option<u64>) {
+    if let Some(t) = token {
+        registry.lock().unwrap().remove(&t);
     }
-    Ok(())
 }

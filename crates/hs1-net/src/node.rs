@@ -169,12 +169,26 @@ impl NodeRunner {
 
     /// Install an observability sink (typically wall-clocked:
     /// `Obs::recording(Clock::wall())`) in the node loop, the hosted
-    /// engine, and — for durable nodes — the journal hooks. Node-level
-    /// instrumentation is metrics-only: per-peer send/recv counters and
-    /// queue-depth gauges.
+    /// engine, the transport, and — for durable nodes — the journal
+    /// hooks. Node-level instrumentation is metrics-only: per-peer
+    /// send/recv counters and queue-depth gauges; the mesh adds
+    /// transport counters (bytes/frames/syscalls), per-peer outbound
+    /// queue gauges, shed counters, and the send-stall histogram.
     pub fn set_observer(&mut self, obs: Obs) {
         self.engine.set_observer(obs.clone());
         self.obs = obs.with_actor(self.engine.id().0);
+        self.mesh.set_observer(self.obs.clone());
+    }
+
+    /// Frames the transport has shed under backpressure (see
+    /// [`crate::mesh::NetStats`]).
+    pub fn shed_frames(&self) -> u64 {
+        self.mesh.shed_frames()
+    }
+
+    /// Live transport counters for this node's mesh.
+    pub fn net_stats(&self) -> crate::mesh::NetStatsSnapshot {
+        self.mesh.stats()
     }
 
     /// Serve a snapshot response, mutated by the adversary layer when one

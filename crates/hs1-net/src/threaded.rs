@@ -1,0 +1,232 @@
+//! The original thread-per-connection transport, kept as the measured
+//! baseline for the reactor backend (see `net_loadgen`) and as the
+//! fallback on non-unix hosts.
+//!
+//! Shape: one accept loop, one writer thread per outbound peer draining
+//! an unbounded channel with blocking writes (two syscalls per frame —
+//! length prefix, then body), one reader thread per inbound connection.
+//! No reconnect, no bounded queues, no coalescing: exactly the
+//! pre-reactor behavior, plus [`NetStats`] counting so an A/B run can
+//! compare syscall and byte traffic across backends.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::framing::{self, PeerKind};
+use crate::mesh::StreamRegistry;
+use crate::mesh::{deregister_stream, register_stream, Inbound, MeshConfig, NetStats};
+use hs1_types::codec::Encode;
+use hs1_types::{ClientId, Message, ReplicaId};
+
+/// Outbound handle to one peer: a channel drained by its writer thread.
+#[derive(Clone)]
+struct Outbound(Sender<Message>);
+
+pub(crate) struct Threaded {
+    me: ReplicaId,
+    base_port: u16,
+    host: String,
+    replicas: Arc<Mutex<HashMap<u32, Outbound>>>,
+    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+    /// Every live stream (accepted and dialed) so shutdown can sever
+    /// them and a restarted node can rebind the port.
+    streams: StreamRegistry,
+    stream_seq: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    /// The port the accept loop actually listens on (shutdown pokes it).
+    listen_port: u16,
+}
+
+impl Threaded {
+    pub(crate) fn start(
+        me: ReplicaId,
+        _n: usize,
+        host: &str,
+        base_port: u16,
+        cfg: &MeshConfig,
+        stats: Arc<NetStats>,
+        inbox_tx: Sender<Inbound>,
+    ) -> std::io::Result<Threaded> {
+        let listen_port = cfg.listen_port.unwrap_or(base_port + me.0 as u16);
+        let t = Threaded {
+            me,
+            base_port,
+            host: host.to_string(),
+            replicas: Arc::new(Mutex::new(HashMap::new())),
+            clients: Arc::new(Mutex::new(HashMap::new())),
+            streams: Arc::new(Mutex::new(HashMap::new())),
+            stream_seq: Arc::new(AtomicU64::new(0)),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            stats,
+            listen_port,
+        };
+        let listener = TcpListener::bind((host, listen_port))?;
+        let inbox_tx2 = inbox_tx;
+        let clients = t.clients.clone();
+        let streams = t.streams.clone();
+        let stream_seq = t.stream_seq.clone();
+        let shutting_down = t.shutting_down.clone();
+        let stats = t.stats.clone();
+        thread::Builder::new().name(format!("accept-{}", me.0)).spawn(move || {
+            for stream in listener.incoming() {
+                if shutting_down.load(Ordering::SeqCst) {
+                    break; // drops the listener: the port is free again
+                }
+                let Ok(stream) = stream else { continue };
+                let token = register_stream(&streams, &stream_seq, &stream);
+                let res = handle_incoming(
+                    stream,
+                    token,
+                    inbox_tx2.clone(),
+                    clients.clone(),
+                    streams.clone(),
+                    stats.clone(),
+                );
+                if res.is_err() {
+                    // No reader thread took ownership (handshake failed).
+                    deregister_stream(&streams, token);
+                }
+            }
+        })?;
+        Ok(t)
+    }
+
+    /// Sever every live stream (peers' writers fail and lazily
+    /// reconnect later) and unblock the accept loop so the listener —
+    /// and its port — are released.
+    pub(crate) fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for (_, s) in self.streams.lock().unwrap().drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.replicas.lock().unwrap().clear();
+        self.clients.lock().unwrap().clear();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect((self.host.as_str(), self.listen_port));
+    }
+
+    /// Send to a replica, connecting lazily (drops on failure — the
+    /// engines tolerate message loss via timeouts).
+    pub(crate) fn send_replica(&self, to: ReplicaId, msg: Message) {
+        let mut peers = self.replicas.lock().unwrap();
+        if let std::collections::hash_map::Entry::Vacant(e) = peers.entry(to.0) {
+            if let Some(out) = self.connect(to) {
+                e.insert(out);
+            } else {
+                return;
+            }
+        }
+        if let Some(out) = peers.get(&to.0) {
+            if out.0.send(msg).is_err() {
+                peers.remove(&to.0);
+            }
+        }
+    }
+
+    /// Send a response to a connected client (no-op if unknown).
+    pub(crate) fn send_client(&self, to: ClientId, msg: Message) {
+        let clients = self.clients.lock().unwrap();
+        if let Some(out) = clients.get(&to.0) {
+            let _ = out.0.send(msg);
+        }
+    }
+
+    fn connect(&self, to: ReplicaId) -> Option<Outbound> {
+        let addr = (self.host.as_str(), self.base_port + to.0 as u16);
+        let mut stream = TcpStream::connect_timeout(
+            &std::net::ToSocketAddrs::to_socket_addrs(&addr).ok()?.next()?,
+            Duration::from_millis(500),
+        )
+        .ok()?;
+        stream.set_nodelay(true).ok()?;
+        framing::send_hello(&mut stream, PeerKind::Replica(self.me.0)).ok()?;
+        let token = register_stream(&self.streams, &self.stream_seq, &stream);
+        // Reader for the reverse direction of this stream is handled by
+        // the remote's accept loop; here we only write.
+        Some(spawn_writer(
+            stream,
+            &format!("w-{}-{}", self.me.0, to.0),
+            Some((self.streams.clone(), token)),
+            self.stats.clone(),
+        ))
+    }
+}
+
+fn spawn_writer(
+    mut stream: TcpStream,
+    name: &str,
+    registration: Option<(StreamRegistry, Option<u64>)>,
+    stats: Arc<NetStats>,
+) -> Outbound {
+    let (tx, rx) = channel::<Message>();
+    let _ = thread::Builder::new().name(name.to_string()).spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            // Same syscall profile as the original transport: one write
+            // for the length prefix, one for the body, per frame.
+            let body = msg.encoded();
+            let len = (body.len() as u32).to_be_bytes();
+            if stream.write_all(&len).is_err() || stream.write_all(&body).is_err() {
+                break;
+            }
+            stats.tx_frames.fetch_add(1, Ordering::Relaxed);
+            stats.tx_bytes.fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+            stats.write_calls.fetch_add(2, Ordering::Relaxed);
+        }
+        if let Some((registry, token)) = registration {
+            deregister_stream(&registry, token);
+        }
+    });
+    Outbound(tx)
+}
+
+fn handle_incoming(
+    mut stream: TcpStream,
+    token: Option<u64>,
+    inbox: Sender<Inbound>,
+    clients: Arc<Mutex<HashMap<u32, Outbound>>>,
+    streams: StreamRegistry,
+    stats: Arc<NetStats>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let hello = framing::recv_hello(&mut stream)?;
+    match hello {
+        PeerKind::Replica(id) => {
+            thread::Builder::new().name(format!("r-replica-{id}")).spawn(move || {
+                while let Ok(msg) = framing::read_msg(&mut stream) {
+                    stats.rx_frames.fetch_add(1, Ordering::Relaxed);
+                    if inbox.send(Inbound::FromReplica(ReplicaId(id), msg)).is_err() {
+                        break;
+                    }
+                }
+                deregister_stream(&streams, token);
+            })?;
+        }
+        PeerKind::Client(id) => {
+            // Register the write half so responses can reach the client
+            // (the reader thread owns the registry token; the writer half
+            // shares the same underlying socket).
+            let write_half = stream.try_clone()?;
+            clients.lock().unwrap().insert(
+                id,
+                spawn_writer(write_half, &format!("w-client-{id}"), None, stats.clone()),
+            );
+            thread::Builder::new().name(format!("r-client-{id}")).spawn(move || {
+                while let Ok(msg) = framing::read_msg(&mut stream) {
+                    stats.rx_frames.fetch_add(1, Ordering::Relaxed);
+                    if inbox.send(Inbound::FromClient(ClientId(id), msg)).is_err() {
+                        break;
+                    }
+                }
+                deregister_stream(&streams, token);
+            })?;
+        }
+    }
+    Ok(())
+}
