@@ -16,8 +16,16 @@
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --replay 'hs1:...' --metrics /tmp/run.csv   # + counter/gauge snapshot
 //! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
+//!     --replay 'hs1:...' --trace-dir /tmp/run     # per-replica + merged
+//!                                                 # cluster trace, critical-
+//!                                                 # path CSV, Perfetto JSON
+//! cargo run --release -p hs1-chaos --bin chaos_sweep -- \
 //!     --seeds 4 --inject rollback             # prove the gate trips
 //! ```
+//!
+//! `--trace-dir` doubles as the critical-path canary: the replay fails
+//! (exit 1) unless every finalized block gets an attributed critical
+//! path whose hop durations telescope exactly to its end-to-end latency.
 
 use hs1_chaos::{
     parse_protocol, parse_replay, protocol_token, replay_command, sweep, ChaosCase, Inject,
@@ -38,6 +46,10 @@ struct Args {
     trace: Option<String>,
     /// Replay mode: dump the run's `MetricsSnapshot` CSV here.
     metrics: Option<String>,
+    /// Replay mode: record per-replica traces into this directory and
+    /// emit the merged cluster timeline, critical-path attribution CSV,
+    /// and Perfetto export (plus canary validation of the paths).
+    trace_dir: Option<String>,
     config: ChaosConfig,
     quiet: bool,
 }
@@ -47,7 +59,8 @@ fn usage() -> ! {
         "usage: chaos_sweep [--seeds N] [--start K] [--sim-seconds F] \
          [--protocols hs,hs2,hs1,basic,slotted] [--threshold BLOCKS] \
          [--config default|lossy|events|legacy] [--inject none|halt|rollback|forge] \
-         [--replay '<protocol>:<plan-spec>'] [--trace PATH] [--metrics PATH] [--quiet]"
+         [--replay '<protocol>:<plan-spec>'] [--trace PATH] [--metrics PATH] \
+         [--trace-dir DIR] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -63,6 +76,7 @@ fn parse_args() -> Args {
         replay: None,
         trace: None,
         metrics: None,
+        trace_dir: None,
         config: ChaosConfig::default(),
         quiet: false,
     };
@@ -93,6 +107,7 @@ fn parse_args() -> Args {
             "--replay" => args.replay = Some(val("--replay")),
             "--trace" => args.trace = Some(val("--trace")),
             "--metrics" => args.metrics = Some(val("--metrics")),
+            "--trace-dir" => args.trace_dir = Some(val("--trace-dir")),
             "--config" => {
                 args.config = match val("--config").as_str() {
                     "default" => ChaosConfig::default(),
@@ -132,8 +147,23 @@ fn replay(args: &Args, spec: &str) -> ! {
     };
     println!("replaying {} under {}", case.plan, case.protocol.name());
     let mut scenario = case.scenario();
+    let cluster_n = scenario.n;
     let mut recorder = None;
-    if args.trace.is_some() || args.metrics.is_some() {
+    let mut fanout = None;
+    if let Some(dir) = &args.trace_dir {
+        // Per-replica fan-out over the same sim-driven manual clock:
+        // each replica's JSONL lands in DIR, and the merge back into one
+        // cluster timeline is byte-identical across replays of the spec.
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create --trace-dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        let (s, fan) = scenario.record_cluster();
+        scenario = s;
+        fan.lock().unwrap().set_trace_dir(&dir);
+        fanout = Some((fan, dir));
+    } else if args.trace.is_some() || args.metrics.is_some() {
         // A recording observer over the sim-driven manual clock: the
         // dumped JSONL is byte-identical across replays of the same spec
         // (and so are the snapshot's counter/gauge rows).
@@ -187,6 +217,72 @@ fn replay(args: &Args, spec: &str) -> ! {
                 std::process::exit(1);
             }
             println!("  metrics: {} rows -> {path}", snapshot.rows.len());
+        }
+    }
+    if let Some((fan, dir)) = fanout {
+        let mut fan = fan.lock().unwrap();
+        // Write the per-replica JSONL files (replica-<i>.jsonl +
+        // harness.jsonl) that set_trace_dir configured.
+        hs1_obs::Observer::flush(&mut *fan);
+        let merged = fan.merged();
+        let quorum = cluster_n - (cluster_n - 1) / 3;
+        let paths = hs1_obs::critical_path::analyze(&merged.events, quorum);
+        let finalized = hs1_obs::critical_path::finalized_blocks(&merged.events);
+
+        let write = |name: &str, body: String| {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        write("cluster.jsonl", merged.to_jsonl());
+        write("critical_path.csv", hs1_obs::attribution_csv(&paths));
+        write("trace.perfetto.json", hs1_obs::perfetto::chrome_trace_json(&merged.events));
+        if let Some(path) = &args.metrics {
+            let snapshot = fan.snapshot();
+            if let Err(e) = std::fs::write(path, snapshot.to_csv()) {
+                eprintln!("failed to write metrics {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  metrics: {} rows -> {path}", snapshot.rows.len());
+        }
+        println!(
+            "  cluster trace: {} events across {} replica lanes -> {}",
+            merged.events.len(),
+            fan.n(),
+            dir.join("cluster.jsonl").display()
+        );
+        println!(
+            "  critical path: {} blocks attributed ({} finalized), hops telescope exactly",
+            paths.len(),
+            finalized
+        );
+        println!("  perfetto: {}", dir.join("trace.perfetto.json").display());
+
+        // Canary: every finalized block must get an attributed critical
+        // path, and each path's hop durations must telescope exactly to
+        // its end-to-end latency. Runs after the artifacts are written so
+        // a failure leaves the trace on disk for inspection.
+        if paths.len() < finalized {
+            eprintln!(
+                "CRITICAL-PATH CANARY FAILED: {} finalized blocks but only {} attributed paths",
+                finalized,
+                paths.len()
+            );
+            std::process::exit(1);
+        }
+        for p in &paths {
+            let hop_sum: u64 = (0..5).map(|i| p.hop_ns(i)).sum();
+            if hop_sum != p.e2e_ns() {
+                eprintln!(
+                    "CRITICAL-PATH CANARY FAILED: block {:#018x} hops sum to {hop_sum}ns \
+                     but e2e is {}ns",
+                    p.block,
+                    p.e2e_ns()
+                );
+                std::process::exit(1);
+            }
         }
     }
     std::process::exit(0);

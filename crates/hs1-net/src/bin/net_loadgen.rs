@@ -29,6 +29,7 @@ use hs1_ledger::ExecConfig;
 use hs1_net::client_driver::ClientDriver;
 use hs1_net::mesh::{Backend, Mesh, MeshConfig};
 use hs1_net::node::NodeRunner;
+use hs1_obs::{Clock, Histogram, Obs};
 use hs1_types::{
     ClientId, Message, ProtocolKind, ReplicaId, SimDuration, SystemConfig, Transaction,
 };
@@ -61,6 +62,22 @@ fn free_base_port(n: u16) -> u16 {
     panic!("could not find {n} contiguous free loopback ports");
 }
 
+/// Send-stall summary for one lane: sample count plus p50/p99 of the
+/// `net_send_stall_ns` histogram the reactor records when a partial
+/// write leaves a peer's flush blocked on `POLLOUT`. `None` when the
+/// lane produced no observer data (the threaded baseline ignores
+/// observers — stalls there are invisible by construction).
+#[derive(Clone, Copy)]
+struct StallSummary {
+    count: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn stall_summary(h: Option<&Histogram>) -> Option<StallSummary> {
+    h.map(|h| StallSummary { count: h.count(), p50_ns: h.quantile(0.5), p99_ns: h.quantile(0.99) })
+}
+
 struct BcastResult {
     delivered: u64,
     elapsed: Duration,
@@ -68,6 +85,7 @@ struct BcastResult {
     tx_frames: u64,
     write_calls: u64,
     shed: u64,
+    stalls: Option<StallSummary>,
 }
 
 /// One mesh_bcast trial on `backend`: 4 meshes, node 0 firehoses
@@ -88,6 +106,10 @@ fn mesh_bcast_trial(backend: Backend) -> BcastResult {
     let mut drainers = Vec::new();
     let mut receivers = meshes.into_iter().collect::<Vec<_>>();
     let sender_mesh = receivers.remove(0);
+    // Record the sender's send-stall histogram (reactor only; the
+    // threaded baseline ignores observers).
+    let (obs, rec) = Obs::recording(Clock::wall());
+    sender_mesh.set_observer(obs.with_actor(0));
     for mesh in receivers {
         let delivered = delivered.clone();
         let stop = stop.clone();
@@ -135,6 +157,7 @@ fn mesh_bcast_trial(backend: Backend) -> BcastResult {
     for d in drainers {
         let _ = d.join();
     }
+    let stalls = stall_summary(rec.lock().unwrap().histogram(0, "net_send_stall_ns"));
     BcastResult {
         delivered: got,
         elapsed,
@@ -142,6 +165,7 @@ fn mesh_bcast_trial(backend: Backend) -> BcastResult {
         tx_frames: stats.tx_frames,
         write_calls: stats.write_calls,
         shed: stats.frames_shed,
+        stalls,
     }
 }
 
@@ -174,6 +198,7 @@ struct ClusterRow {
     tx_frames: u64,
     write_calls: u64,
     shed: u64,
+    stalls: Option<StallSummary>,
 }
 
 /// One 4-replica consensus run on the reactor backend with an open-loop
@@ -188,7 +213,7 @@ fn cluster_run(rate: u64) -> ClusterRow {
     sys.delta = SimDuration::from_millis(10);
     sys.batch_size = 64;
 
-    let stats = Arc::new(std::sync::Mutex::new((0u64, 0u64, 0u64)));
+    let stats = Arc::new(std::sync::Mutex::new((0u64, 0u64, 0u64, Histogram::default())));
     let mut replicas = Vec::new();
     for id in 0..n as u32 {
         let sys = sys.clone();
@@ -200,12 +225,19 @@ fn cluster_run(rate: u64) -> ClusterRow {
             let mesh = Mesh::start_with(ReplicaId(id), n, "127.0.0.1", base_port, cfg)
                 .expect("bind replica");
             let mut runner = NodeRunner::new(engine, mesh);
+            let (obs, rec) = Obs::recording(Clock::wall());
+            runner.set_observer(obs);
             runner.run_for(run_for);
             let s = runner.net_stats();
+            runner.shutdown();
+            let rec = rec.lock().unwrap();
             let mut agg = stats.lock().unwrap();
             agg.0 += s.tx_frames;
             agg.1 += s.write_calls;
             agg.2 += s.frames_shed;
+            if let Some(h) = rec.histogram(id, "net_send_stall_ns") {
+                agg.3.merge(h);
+            }
         }));
     }
 
@@ -219,7 +251,9 @@ fn cluster_run(rate: u64) -> ClusterRow {
     for r in replicas {
         let _ = r.join();
     }
-    let (tx_frames, write_calls, shed) = *stats.lock().unwrap();
+    let agg = stats.lock().unwrap();
+    let (tx_frames, write_calls, shed) = (agg.0, agg.1, agg.2);
+    let stalls = stall_summary(Some(&agg.3));
     ClusterRow {
         offered: rate,
         submitted: report.submitted,
@@ -228,6 +262,7 @@ fn cluster_run(rate: u64) -> ClusterRow {
         tx_frames,
         write_calls,
         shed,
+        stalls,
     }
 }
 
@@ -274,6 +309,7 @@ fn main() {
     );
 
     eprintln!("cluster leg: 4 replicas, open-loop client, rates {CLUSTER_RATES:?}");
+    let mut cluster_rows = Vec::new();
     for rate in CLUSTER_RATES {
         let row = cluster_run(rate);
         eprintln!(
@@ -285,6 +321,39 @@ fn main() {
             "cluster,reactor,{},{},,,{:.0},{},{},{:.2},{}\n",
             row.offered, row.finalized, row.goodput, row.tx_frames, row.write_calls, fpc, row.shed
         ));
+        cluster_rows.push(row);
+    }
+
+    // Per-lane backpressure summary: send-stall latency (recorded by
+    // the reactor whenever a partial write leaves a peer blocked on
+    // POLLOUT) and frames shed by the bounded-queue policy. The
+    // threaded baseline has no observer hooks, so its stall column
+    // reads "-" — invisible stalls, which is part of the A/B story.
+    let ms = |ns: u64| ns as f64 / 1e6;
+    eprintln!("send-stall / shed per lane (net_send_stall_ns):");
+    eprintln!("  {:<24} {:>8} {:>12} {:>12} {:>8}", "lane", "stalls", "p50", "p99", "shed");
+    // "-" means the lane has no stall observations at all (the threaded
+    // baseline has no hooks; a reactor lane that never flushed under
+    // POLLOUT never creates the histogram). An explicit 0 means the
+    // reactor was watching and genuinely never stalled.
+    let mut lanes: Vec<(String, Option<StallSummary>, u64)> = vec![
+        ("mesh_bcast/threads".to_string(), threads.stalls.filter(|s| s.count > 0), threads.shed),
+        ("mesh_bcast/reactor".to_string(), reactor.stalls, reactor.shed),
+    ];
+    for row in &cluster_rows {
+        lanes.push((format!("cluster@{}", row.offered), row.stalls, row.shed));
+    }
+    for (lane, stalls, shed) in lanes {
+        match stalls {
+            Some(s) => eprintln!(
+                "  {lane:<24} {:>8} {:>9.3}ms {:>9.3}ms {:>8}",
+                s.count,
+                ms(s.p50_ns),
+                ms(s.p99_ns),
+                shed
+            ),
+            None => eprintln!("  {lane:<24} {:>8} {:>12} {:>12} {:>8}", "-", "-", "-", shed),
+        }
     }
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -29,6 +29,10 @@
 //!   replicas and applies the paper's finality rules via
 //!   [`hs1_core::client::FinalityTracker`]; reconnects with backoff when
 //!   a replica restarts mid-session.
+//! * [`http`] — a std-only HTTP/1.0 introspection responder (unix) built
+//!   on the same [`poll`] primitives: `GET /metrics` serves Prometheus
+//!   text, `GET /status` a live JSON summary of the hosted node. Wired
+//!   into a running node by [`node::NodeRunner::serve_introspection`].
 //!
 //! Binaries `hs1-replica` and `hs1-client` (see `src/bin/`) wire these
 //! into runnable processes; `net_loadgen` A/B-measures the two mesh
@@ -37,6 +41,8 @@
 
 pub mod client_driver;
 pub mod framing;
+#[cfg(unix)]
+pub mod http;
 pub mod mesh;
 pub mod node;
 pub mod poll;

@@ -254,6 +254,18 @@ impl Mesh {
         self.stats.frames_shed.load(Ordering::Relaxed)
     }
 
+    /// Live per-peer outbound queue depths, `(peer, frames, bytes)` —
+    /// the instantaneous values behind the `net_out_queue_*` gauges.
+    /// Empty on the threaded backend (unbounded channels have no
+    /// meaningful depth to report).
+    pub fn queue_depths(&self) -> Vec<(usize, u64, u64)> {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Reactor { shared, .. } => shared.queue_depths(),
+            Inner::Threads(_) => Vec::new(),
+        }
+    }
+
     /// Attach an observability sink: the reactor publishes per-peer
     /// queue gauges, transport counters, and the send-stall histogram
     /// through it (the threaded baseline ignores it — it predates the
@@ -359,5 +371,112 @@ pub(crate) fn register_stream(
 pub(crate) fn deregister_stream(registry: &StreamRegistry, token: Option<u64>) {
     if let Some(t) = token {
         registry.lock().unwrap().remove(&t);
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use hs1_obs::Clock;
+    use hs1_types::Transaction;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    fn free_base_port(n: u16) -> u16 {
+        for _ in 0..32 {
+            let probe = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+            let base = probe.local_addr().expect("addr").port();
+            drop(probe);
+            if base.checked_add(n).is_none() {
+                continue;
+            }
+            let all_free =
+                (0..n).all(|i| TcpListener::bind(("127.0.0.1", base + i)).map(drop).is_ok());
+            if all_free {
+                return base;
+            }
+        }
+        panic!("could not find {n} contiguous free loopback ports");
+    }
+
+    fn request(seq: u64) -> Message {
+        Message::Request(Transaction::kv_write(0, seq, seq, seq))
+    }
+
+    /// Regression: per-peer `net_out_queue_*` gauges must report the
+    /// *current* depth every tick — including 0 once a peer's queue
+    /// drains — not hold the last nonzero sample. A last-value gauge
+    /// that is only published `if depth > 0` would pass every
+    /// queue-buildup test and still lie forever after the drain.
+    #[test]
+    fn queue_gauges_report_zero_after_drain() {
+        let n = 2usize;
+        let base = free_base_port(n as u16);
+        let cfg = MeshConfig {
+            backend: Backend::Reactor,
+            metrics_interval: Duration::from_millis(5),
+            ..MeshConfig::default()
+        };
+        let a = Mesh::start_with(ReplicaId(0), n, "127.0.0.1", base, cfg.clone()).expect("mesh a");
+        let (obs, rec) = Obs::recording(Clock::wall());
+        a.set_observer(obs.with_actor(0));
+
+        // Peer 1 is down: frames pile up in its queue; a metrics tick
+        // must observe a nonzero gauge.
+        for seq in 0..64 {
+            a.send_replica(ReplicaId(1), request(seq));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let depths = a.queue_depths();
+            assert_eq!(depths.len(), 1, "one peer besides me");
+            if depths[0].1 > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "queue never built up");
+        }
+        // Wait until a tick has published the nonzero depth.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = rec.lock().unwrap().snapshot();
+            let gauge = snap
+                .rows
+                .iter()
+                .find(|r| r.kind == "gauge" && r.name == "net_out_queue_frames" && r.idx == 1)
+                .map(|r| r.value);
+            if gauge.is_some_and(|v| v > 0) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "nonzero queue gauge never published");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Bring peer 1 up; the queue drains and the *published* gauge
+        // must come back to exactly 0.
+        let b = Mesh::start_with(ReplicaId(1), n, "127.0.0.1", base, cfg).expect("mesh b");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = rec.lock().unwrap().snapshot();
+            let frames = snap
+                .rows
+                .iter()
+                .find(|r| r.kind == "gauge" && r.name == "net_out_queue_frames" && r.idx == 1)
+                .map(|r| r.value);
+            let bytes = snap
+                .rows
+                .iter()
+                .find(|r| r.kind == "gauge" && r.name == "net_out_queue_bytes" && r.idx == 1)
+                .map(|r| r.value);
+            if frames == Some(0) && bytes == Some(0) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "queue gauges stuck at {frames:?} frames / {bytes:?} bytes after drain"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(b);
+        drop(a);
     }
 }

@@ -27,6 +27,8 @@ use std::collections::BinaryHeap;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+#[cfg(unix)]
+use crate::http::HttpServer;
 use crate::mesh::{Inbound, Mesh};
 use hs1_adversary::AdversaryMutator;
 use hs1_core::persist::RecoveredState;
@@ -88,6 +90,18 @@ pub struct NodeRunner {
     pub sync_stats: Option<SyncStats>,
     /// Did the node install a verified snapshot (vs replay/fallback)?
     pub synced_via_snapshot: bool,
+    /// Live introspection responder (see [`NodeRunner::serve_introspection`]).
+    #[cfg(unix)]
+    introspection: Option<HttpServer>,
+    /// The `/status` body, refreshed by the node loop.
+    #[cfg(unix)]
+    status: Option<crate::http::StatusCell>,
+    /// The recorder behind `/metrics` (auto-attached or caller-supplied).
+    #[cfg(unix)]
+    introspection_rec: Option<std::sync::Arc<std::sync::Mutex<hs1_obs::RecordingObserver>>>,
+    /// Last `/status` refresh (throttles the refresh to ~4 Hz).
+    #[cfg(unix)]
+    status_at: Instant,
 }
 
 impl NodeRunner {
@@ -108,6 +122,14 @@ impl NodeRunner {
             recovery: None,
             sync_stats: None,
             synced_via_snapshot: false,
+            #[cfg(unix)]
+            introspection: None,
+            #[cfg(unix)]
+            status: None,
+            #[cfg(unix)]
+            introspection_rec: None,
+            #[cfg(unix)]
+            status_at: Instant::now(),
         }
     }
 
@@ -215,6 +237,93 @@ impl NodeRunner {
         }
     }
 
+    /// Serve live introspection endpoints (`GET /metrics`, `GET /status`)
+    /// on `host:port` (`port` 0 picks an ephemeral port; the bound port
+    /// is returned). If no observer is attached yet, a wall-clocked
+    /// recording observer is attached automatically so `/metrics` has
+    /// something to serve; if the caller already attached their own
+    /// sink, use [`NodeRunner::serve_introspection_with`] and hand over
+    /// the recorder so scrapes can snapshot it.
+    #[cfg(unix)]
+    pub fn serve_introspection(&mut self, host: &str, port: u16) -> std::io::Result<u16> {
+        let rec = match &self.introspection_rec {
+            Some(rec) => rec.clone(),
+            None if self.obs.enabled() => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "an observer is already attached; use serve_introspection_with",
+                ));
+            }
+            None => {
+                let (obs, rec) = Obs::recording(hs1_obs::Clock::wall());
+                self.set_observer(obs);
+                rec
+            }
+        };
+        self.serve_introspection_with(host, port, rec)
+    }
+
+    /// [`NodeRunner::serve_introspection`] with an explicit recorder —
+    /// for harnesses that attached their own
+    /// `Obs::recording`/[`hs1_obs::RecordingObserver`] (or a fan-out
+    /// lane) and want `/metrics` served from it.
+    #[cfg(unix)]
+    pub fn serve_introspection_with(
+        &mut self,
+        host: &str,
+        port: u16,
+        rec: std::sync::Arc<std::sync::Mutex<hs1_obs::RecordingObserver>>,
+    ) -> std::io::Result<u16> {
+        use std::sync::{Arc, Mutex};
+        let status = Arc::new(Mutex::new(String::from("{}\n")));
+        let metrics_rec = rec.clone();
+        let server = HttpServer::serve(
+            host,
+            port,
+            Arc::new(move || metrics_rec.lock().expect("recorder").snapshot().to_prometheus()),
+            status.clone(),
+        )?;
+        let port = server.port();
+        self.introspection = Some(server);
+        self.introspection_rec = Some(rec);
+        self.status = Some(status);
+        self.refresh_status();
+        Ok(port)
+    }
+
+    /// Rebuild the `/status` JSON from live node state. Cheap enough to
+    /// call at the loop's idle cadence; does nothing when introspection
+    /// is off.
+    #[cfg(unix)]
+    fn refresh_status(&mut self) {
+        let Some(cell) = &self.status else { return };
+        let stats = self.mesh.stats();
+        let mut peers = String::new();
+        for (i, (peer, frames, bytes)) in self.mesh.queue_depths().into_iter().enumerate() {
+            if i > 0 {
+                peers.push(',');
+            }
+            peers.push_str(&format!(
+                "{{\"peer\":{peer},\"queue_frames\":{frames},\"queue_bytes\":{bytes}}}"
+            ));
+        }
+        let body = format!(
+            "{{\"replica\":{},\"backend\":\"{}\",\"view\":{},\"chain_len\":{},\
+             \"head\":\"{:016x}\",\"committed_blocks\":{},\"reconnects\":{},\
+             \"frames_shed\":{},\"peers\":[{peers}]}}\n",
+            self.engine.id().0,
+            self.mesh.backend().name(),
+            self.engine.current_view().0,
+            self.committed_chain_len(),
+            hs1_obs::block_key(self.engine.committed_head()),
+            self.committed_blocks,
+            stats.reconnects,
+            stats.frames_shed,
+        );
+        *cell.lock().expect("status lock") = body;
+        self.status_at = Instant::now();
+    }
+
     /// Sever every connection and release the listen port (the "kill"
     /// half of a kill–restart cycle; peers reconnect lazily).
     pub fn shutdown(&self) {
@@ -286,10 +395,16 @@ impl NodeRunner {
             if self.obs.enabled() {
                 self.obs.gauge("timer_queue_depth", 0, self.timers.len() as u64);
             }
+            #[cfg(unix)]
+            if self.status.is_some() && self.status_at.elapsed() >= Duration::from_millis(250) {
+                self.refresh_status();
+            }
             if let Ok(inbound) = self.mesh.inbox.recv_timeout(wait) {
                 self.handle_inbound(inbound);
             }
         }
+        #[cfg(unix)]
+        self.refresh_status();
         self.obs.flush();
     }
 

@@ -107,6 +107,20 @@ impl Shared {
         self.notify();
     }
 
+    /// Current depth of every peer's outbound queue:
+    /// `(peer, frames, bytes)` for each peer except `me`. The same
+    /// numbers the metrics tick publishes as `net_out_queue_*` gauges,
+    /// read on demand for the `/status` introspection endpoint.
+    pub(crate) fn queue_depths(&self) -> Vec<(usize, u64, u64)> {
+        (0..self.n)
+            .filter(|&peer| peer as u32 != self.me)
+            .map(|peer| {
+                let q = self.queues[peer].lock().expect("queue lock");
+                (peer, q.len() as u64, q.bytes() as u64)
+            })
+            .collect()
+    }
+
     pub(crate) fn request_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         self.waker.wake();

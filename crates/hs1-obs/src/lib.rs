@@ -27,12 +27,35 @@
 //! * **CSV / table metrics snapshot** ([`MetricsSnapshot`]): counters,
 //!   gauges, and histogram summaries in a fixed schema shared by sim
 //!   reports, the chaos replay tool, and the TCP bins.
+//! * **Prometheus text** ([`MetricsSnapshot::to_prometheus`]): the same
+//!   snapshot in exposition format, served by the TCP stack's `/metrics`
+//!   introspection endpoint.
+//!
+//! # Cluster-level analysis
+//!
+//! Per-node traces compose into cluster timelines: [`FanoutObserver`]
+//! records each replica into its own lane (one JSONL file per replica),
+//! [`ClusterTrace`] merges N such traces into one causally-ordered
+//! timeline (shared-clock for sim traces, first-contact offset alignment
+//! for wall-clock TCP traces), [`critical_path`] extracts each committed
+//! block's slowest causal chain with per-hop replica attribution, and
+//! [`perfetto`] exports the merged timeline as Chrome `trace_event` JSON
+//! for ui.perfetto.dev. All of it is post-processing over recorded,
+//! deterministic data — nothing here feeds back into the observed system.
 
 mod event;
 mod record;
 
+pub mod critical_path;
+mod fanout;
+pub mod perfetto;
+pub mod trace;
+
+pub use critical_path::{attribution_csv, BlockPath, HOP_NAMES};
 pub use event::{block_key, EventKind, Stage, TraceEvent};
+pub use fanout::FanoutObserver;
 pub use record::{Histogram, MetricRow, MetricsSnapshot, RecordingObserver};
+pub use trace::{Alignment, ClusterTrace, OwnedEvent, OwnedEventKind};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -65,6 +65,18 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's samples into this one (bucket-wise; the
+    /// merged quantiles are exact at bucket resolution). Used when
+    /// combining per-replica recorders into one cluster view.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The upper edge of the bucket holding the `q`-quantile sample
     /// (`q` in 0..=1). Log2 buckets bound the answer within 2x — enough
     /// for attribution ("is the p99 fsync 1ms or 30ms"), cheap enough to
@@ -168,6 +180,44 @@ impl MetricsSnapshot {
     /// Sum of a counter across actors and indices (tests, quick checks).
     pub fn counter_total(&self, name: &str) -> u64 {
         self.rows.iter().filter(|r| r.kind == "counter" && r.name == name).map(|r| r.value).sum()
+    }
+
+    /// The snapshot in Prometheus text exposition format (version 0.0.4,
+    /// what the `/metrics` introspection endpoint serves). Counters get a
+    /// `hs1_` prefix and the conventional `_total` suffix; histograms are
+    /// exposed as summaries with p50/p99 quantile samples (quantile edges
+    /// are log2-bucket upper bounds, like everywhere else in this crate).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<(&str, &str)> = None;
+        for r in &self.rows {
+            let metric = match r.kind {
+                "counter" => format!("hs1_{}_total", r.name),
+                _ => format!("hs1_{}", r.name),
+            };
+            let labels = format!("{{actor=\"{}\",idx=\"{}\"}}", r.actor, r.idx);
+            if last != Some((r.kind, r.name.as_str())) {
+                let ptype = match r.kind {
+                    "counter" => "counter",
+                    "gauge" => "gauge",
+                    _ => "summary",
+                };
+                out.push_str(&format!("# TYPE {metric} {ptype}\n"));
+                last = Some((r.kind, r.name.as_str()));
+            }
+            match r.kind {
+                "hist" => {
+                    let l = format!("actor=\"{}\",idx=\"{}\"", r.actor, r.idx);
+                    out.push_str(&format!(
+                        "{metric}{{{l},quantile=\"0.5\"}} {}\n{metric}{{{l},quantile=\"0.99\"}} {}\n\
+                         {metric}_sum{{{l}}} {}\n{metric}_count{{{l}}} {}\n",
+                        r.p50, r.p99, r.sum, r.value
+                    ));
+                }
+                _ => out.push_str(&format!("{metric}{labels} {}\n", r.value)),
+            }
+        }
+        out
     }
 }
 
@@ -395,6 +445,49 @@ mod tests {
         assert!(csv.starts_with(MetricsSnapshot::csv_header()));
         assert_eq!(csv.lines().count(), 5);
         assert!(!snap.to_table().is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_into_one() {
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [1u64, 5, 100] {
+            left.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 1_000_000] {
+            right.record(v);
+            both.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), both.count());
+        assert_eq!(left.sum(), both.sum());
+        assert_eq!(left.max(), both.max());
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), both.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut r = RecordingObserver::new();
+        r.add_counter(0, "net_tx_frames", 0, 7);
+        r.add_counter(1, "net_tx_frames", 0, 9);
+        r.set_gauge(0, "net_out_queue_frames", 2, 5);
+        r.observe(0, "fsync_ns", 1500);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE hs1_net_tx_frames_total counter\n"));
+        assert!(text.contains("hs1_net_tx_frames_total{actor=\"0\",idx=\"0\"} 7\n"));
+        assert!(text.contains("hs1_net_tx_frames_total{actor=\"1\",idx=\"0\"} 9\n"));
+        // The TYPE line appears once per metric, not once per sample.
+        assert_eq!(text.matches("# TYPE hs1_net_tx_frames_total").count(), 1);
+        assert!(text.contains("# TYPE hs1_net_out_queue_frames gauge\n"));
+        assert!(text.contains("hs1_net_out_queue_frames{actor=\"0\",idx=\"2\"} 5\n"));
+        assert!(text.contains("# TYPE hs1_fsync_ns summary\n"));
+        assert!(text.contains("hs1_fsync_ns{actor=\"0\",idx=\"0\",quantile=\"0.5\"}"));
+        assert!(text.contains("hs1_fsync_ns_count{actor=\"0\",idx=\"0\"} 1\n"));
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

@@ -111,6 +111,82 @@ fn trace_covers_the_full_block_lifecycle() {
     assert!(report.committed_txs > 0);
 }
 
+/// One cluster-recorded run: the report, the merged cluster timeline's
+/// JSONL, and the per-block critical paths.
+fn cluster_observed(
+    p: ProtocolKind,
+) -> (Report, String, Vec<hotstuff1::obs::critical_path::BlockPath>) {
+    let (scenario, fan) = scenario(p).record_cluster();
+    let report = scenario.run();
+    let fan = fan.lock().expect("fanout");
+    let merged = fan.merged();
+    let paths = hotstuff1::obs::critical_path::analyze(&merged.events, 3);
+    (report, merged.to_jsonl(), paths)
+}
+
+#[test]
+fn merged_cluster_trace_is_byte_identical_and_pure() {
+    // The tentpole determinism guarantee: fanning the trace out into
+    // per-replica lanes and causally joining them back must be as
+    // reproducible as the flat recorder — and just as invisible to the
+    // run (`Report::fingerprint` unchanged with merge + export attached).
+    for p in [ProtocolKind::HotStuff1, ProtocolKind::HotStuff2] {
+        let bare = scenario(p).run();
+        let (ra, jsonl_a, _) = cluster_observed(p);
+        let (rb, jsonl_b, _) = cluster_observed(p);
+        assert!(!jsonl_a.is_empty(), "{p:?}: merged trace is non-empty");
+        assert_eq!(jsonl_a, jsonl_b, "{p:?}: same seed, same merged cluster JSONL");
+        assert_eq!(bare.fingerprint, ra.fingerprint, "{p:?}: cluster recording is pure");
+        assert_eq!(ra.fingerprint, rb.fingerprint, "{p:?}: same seed, same run");
+    }
+}
+
+#[test]
+fn critical_path_attributes_every_finalized_block() {
+    use hotstuff1::obs::critical_path::{finalized_blocks, HARNESS_ACTOR};
+
+    for p in [ProtocolKind::HotStuff1, ProtocolKind::HotStuff2] {
+        let (scenario, fan) = scenario(p).record_cluster();
+        scenario.run();
+        let fan = fan.lock().expect("fanout");
+        let merged = fan.merged();
+        let paths = hotstuff1::obs::critical_path::analyze(&merged.events, 3);
+        let finalized = finalized_blocks(&merged.events);
+        assert!(finalized > 0, "{p:?}: run finalized blocks");
+        assert_eq!(paths.len(), finalized, "{p:?}: one attributed path per finalized block");
+        for path in &paths {
+            let hop_sum: u64 = (0..5).map(|i| path.hop_ns(i)).sum();
+            assert_eq!(hop_sum, path.e2e_ns(), "{p:?}: hops telescope exactly");
+            for (i, &actor) in path.actors.iter().enumerate() {
+                assert!(
+                    actor < 4 || actor == HARNESS_ACTOR,
+                    "{p:?}: hop {i} attributed to a real actor, got {actor}"
+                );
+            }
+            assert_eq!(path.actors[4], HARNESS_ACTOR, "{p:?}: finality hop is the client's");
+        }
+    }
+}
+
+#[test]
+fn perfetto_export_is_well_formed() {
+    let export = || {
+        let (s, fan) = scenario(ProtocolKind::HotStuff1).record_cluster();
+        s.run();
+        let fan = fan.lock().expect("fanout");
+        hotstuff1::obs::perfetto::chrome_trace_json(&fan.merged().events)
+    };
+    let json = export();
+    assert!(json.starts_with("{\"traceEvents\":["), "chrome trace envelope");
+    assert!(json.trim_end().ends_with("]}"), "closed envelope");
+    assert!(json.contains("\"process_name\""), "process metadata present");
+    assert!(json.contains("\"replica 0\""), "per-replica track names present");
+    assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""), "view spans present");
+    assert!(json.contains("\"ph\":\"i\""), "stage instants present");
+    // Deterministic like everything else downstream of the manual clock.
+    assert_eq!(json, export());
+}
+
 #[test]
 fn observer_is_pure_under_chaos_too() {
     // The guarantee the chaos gate's `--trace` replay flag leans on:

@@ -318,6 +318,246 @@ fn fresh_replica_joins_via_snapshot_over_tcp() {
     let _ = std::fs::remove_dir_all(&root_dir);
 }
 
+/// ISSUE 10 satellite: observer re-attachment across a crash-restart on
+/// the TCP path. One shared wall-clock recorder watches replica 3
+/// through a kill + `with_storage` restart; every `net_*` and storage
+/// counter must stay monotone across the re-attach, and both the network
+/// and the journal must keep reporting through the second incarnation.
+#[test]
+#[ignore = "multi-second wall-clock run; execute with cargo test -- --ignored"]
+fn observer_survives_replica_restart_over_tcp() {
+    use hotstuff1::obs::{Clock, Obs};
+
+    let n = 4;
+    let base_port = free_base_port(n as u16);
+    let protocol = ProtocolKind::HotStuff1;
+    let total = Duration::from_secs(4);
+    let crash_at = Duration::from_millis(1500);
+    let downtime = Duration::from_millis(200);
+
+    let dir = std::env::temp_dir().join(format!("hs1-tcp-obs-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage_cfg = StorageConfig {
+        segment_bytes: 1 << 20,
+        sync: SyncPolicy::EveryN(64),
+        checkpoint_every: 512,
+    };
+
+    fn config(n: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::new(n);
+        cfg.view_timer = SimDuration::from_millis(150);
+        cfg.delta = SimDuration::from_millis(15);
+        cfg.batch_size = 16;
+        cfg
+    }
+
+    let mut live = Vec::new();
+    for id in 0..3u32 {
+        live.push(std::thread::spawn(move || {
+            let engine = build_replica(
+                protocol,
+                config(n),
+                ReplicaId(id),
+                Fault::Honest,
+                ExecConfig::default(),
+            );
+            let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
+            let mut runner = NodeRunner::new(engine, mesh);
+            runner.run_for(total);
+            runner.state_root()
+        }));
+    }
+
+    let dir3 = dir.clone();
+    let durable = std::thread::spawn(move || {
+        // One recorder for both incarnations of replica 3: the counters
+        // it accumulates must never step backwards when the restarted
+        // runner re-attaches.
+        let (obs, rec) = Obs::recording(Clock::wall());
+        let counters = |names: &[&str]| -> Vec<u64> {
+            let snap = rec.lock().expect("recorder").snapshot();
+            names.iter().map(|n| snap.counter_total(n)).collect()
+        };
+        const WATCHED: [&str; 6] = [
+            "net_tx_frames",
+            "net_rx_frames",
+            "net_tx_bytes",
+            "net_rx_bytes",
+            "fsyncs",
+            "journal_bytes",
+        ];
+
+        let engine =
+            build_replica(protocol, config(n), ReplicaId(3), Fault::Honest, ExecConfig::default());
+        let mesh = Mesh::start(ReplicaId(3), n, "127.0.0.1", base_port).expect("bind");
+        let mut runner =
+            NodeRunner::with_storage(engine, mesh, &dir3, storage_cfg).expect("open storage");
+        runner.set_observer(obs.with_actor(3));
+        runner.run_for(crash_at);
+        runner.shutdown();
+        drop(runner);
+        let at_crash = counters(&WATCHED);
+        assert!(at_crash[0] > 0, "first incarnation sent frames");
+        assert!(at_crash[4] > 0, "first incarnation fsynced its journal");
+        std::thread::sleep(downtime);
+
+        let engine =
+            build_replica(protocol, config(n), ReplicaId(3), Fault::Honest, ExecConfig::default());
+        let mesh = Mesh::start(ReplicaId(3), n, "127.0.0.1", base_port).expect("rebind");
+        let mut runner =
+            NodeRunner::with_storage(engine, mesh, &dir3, storage_cfg).expect("recover");
+        runner.set_observer(obs.with_actor(3));
+        runner.run_for(total - crash_at - downtime);
+        let root = runner.state_root();
+        runner.shutdown();
+        drop(runner);
+
+        let at_end = counters(&WATCHED);
+        for (i, name) in WATCHED.iter().enumerate() {
+            assert!(
+                at_end[i] >= at_crash[i],
+                "{name} went backwards across the restart: {} -> {}",
+                at_crash[i],
+                at_end[i],
+            );
+        }
+        // The re-attached observer must still be live on both the network
+        // and the storage paths, not just non-regressing.
+        assert!(at_end[1] > at_crash[1], "net_rx_frames advanced after the re-attach");
+        assert!(at_end[4] > at_crash[4], "fsyncs advanced after the re-attach");
+        root
+    });
+
+    std::thread::sleep(Duration::from_millis(300));
+    let f = SystemConfig::new(n).f();
+    let mut client = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
+        .expect("connect");
+    let samples = client.run_closed_loop(Duration::from_millis(2700)).expect("client");
+    drop(client);
+
+    let root3 = durable.join().expect("durable replica");
+    let roots: Vec<_> = live.into_iter().map(|h| h.join().expect("replica")).collect();
+    assert!(!samples.is_empty(), "client reached finality across the crash");
+    for (i, root) in roots.iter().enumerate() {
+        assert_eq!(*root, root3, "replica {i} and restarted replica 3 agree on state root");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE 10 acceptance: live introspection endpoints on a running
+/// 4-replica TCP cluster. Each replica serves `/metrics` (Prometheus
+/// text) and `/status` (JSON) from its reactor-fed recorder; curling
+/// both mid-run must return well-formed payloads and must not perturb
+/// consensus (all state roots converge). With `HS1_TRACE_DIR` set, the
+/// per-replica wall-clock traces are causally joined via first-contact
+/// alignment and written out for the CI artifact.
+#[cfg(unix)]
+#[test]
+#[ignore = "multi-second wall-clock run; execute with cargo test -- --ignored"]
+fn introspection_endpoints_serve_a_live_tcp_cluster() {
+    use hotstuff1::obs::{Alignment, Clock, ClusterTrace, Obs, OwnedEvent};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let n = 4;
+    let base_port = free_base_port(n as u16);
+    let protocol = ProtocolKind::HotStuff1;
+    let run = Duration::from_secs(3);
+
+    let (port_tx, port_rx) = std::sync::mpsc::channel::<(u32, u16)>();
+    let mut handles = Vec::new();
+    for id in 0..n as u32 {
+        let port_tx = port_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut cfg = SystemConfig::new(n);
+            cfg.view_timer = SimDuration::from_millis(150);
+            cfg.delta = SimDuration::from_millis(15);
+            cfg.batch_size = 16;
+            let engine =
+                build_replica(protocol, cfg, ReplicaId(id), Fault::Honest, ExecConfig::default());
+            let mesh = Mesh::start(ReplicaId(id), n, "127.0.0.1", base_port).expect("bind");
+            let mut runner = NodeRunner::new(engine, mesh);
+            let (obs, rec) = Obs::recording(Clock::wall());
+            runner.set_observer(obs.with_actor(id));
+            let http_port = runner
+                .serve_introspection_with("127.0.0.1", 0, rec.clone())
+                .expect("introspection server");
+            port_tx.send((id, http_port)).expect("report port");
+            runner.run_for(run);
+            let events: Vec<OwnedEvent> =
+                rec.lock().expect("recorder").trace().iter().map(OwnedEvent::from_event).collect();
+            (runner.state_root(), runner.committed_blocks, events)
+        }));
+    }
+    drop(port_tx);
+    let mut http_ports = vec![0u16; n];
+    for _ in 0..n {
+        let (id, port) = port_rx.recv_timeout(Duration::from_secs(5)).expect("port");
+        http_ports[id as usize] = port;
+    }
+
+    // Client load so the endpoints are sampled on a cluster that is
+    // actually committing.
+    std::thread::sleep(Duration::from_millis(300));
+    let f = SystemConfig::new(n).f();
+    let mut client = ClientDriver::connect(ClientId(0), n, "127.0.0.1", base_port, protocol, f)
+        .expect("connect");
+    let client_thread = std::thread::spawn(move || {
+        client.run_closed_loop(run - Duration::from_millis(700)).expect("client")
+    });
+
+    // Curl every replica mid-run.
+    std::thread::sleep(Duration::from_millis(700));
+    let get = |port: u16, path: &str| -> String {
+        let mut conn = TcpStream::connect(("127.0.0.1", port)).expect("connect http");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        conn.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).expect("request");
+        let mut body = String::new();
+        conn.read_to_string(&mut body).expect("response");
+        body
+    };
+    for (id, &port) in http_ports.iter().enumerate() {
+        let metrics = get(port, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"), "replica {id}: /metrics 200");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "replica {id}: prom content type");
+        assert!(metrics.contains("# TYPE "), "replica {id}: typed metric families");
+        assert!(metrics.contains("hs1_net_tx_frames_total"), "replica {id}: reactor counters");
+
+        let status = get(port, "/status");
+        assert!(status.starts_with("HTTP/1.0 200"), "replica {id}: /status 200");
+        assert!(status.contains("application/json"), "replica {id}: json content type");
+        let body = status.split("\r\n\r\n").nth(1).unwrap_or_default();
+        for field in ["\"replica\"", "\"view\"", "\"chain_len\"", "\"head\"", "\"peers\""] {
+            assert!(body.contains(field), "replica {id}: /status has {field}: {body}");
+        }
+        assert!(get(port, "/nope").starts_with("HTTP/1.0 404"), "replica {id}: 404 elsewhere");
+    }
+
+    let samples = client_thread.join().expect("client thread");
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("replica")).collect();
+    assert!(!samples.is_empty(), "client reached finality with introspection attached");
+    assert!(results.iter().all(|(_, c, _)| *c > 0), "every replica committed");
+    for (i, (root, _, _)) in results.iter().enumerate() {
+        assert_eq!(*root, results[0].0, "replica {i} agrees on the state root");
+    }
+
+    // CI artifact: causally join the four wall-clock traces (first-contact
+    // alignment — no shared clock over TCP) and export them.
+    if let Ok(dir) = std::env::var("HS1_TRACE_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("trace dir");
+        let sources: Vec<Vec<OwnedEvent>> = results.into_iter().map(|(_, _, ev)| ev).collect();
+        let merged = ClusterTrace::merge(sources, Alignment::FirstContact);
+        std::fs::write(dir.join("cluster.jsonl"), merged.to_jsonl()).expect("cluster.jsonl");
+        std::fs::write(
+            dir.join("trace.perfetto.json"),
+            hotstuff1::obs::perfetto::chrome_trace_json(&merged.events),
+        )
+        .expect("perfetto export");
+        assert!(!merged.events.is_empty(), "merged TCP trace is non-empty");
+    }
+}
+
 /// ISSUE 9 acceptance: one replica's reads are stalled behind a
 /// throttling proxy for seconds. The cluster must keep committing (the
 /// bounded per-peer queues shed stale frames instead of blocking the
